@@ -1,0 +1,193 @@
+package taskgraph
+
+// One testing.B benchmark per table and figure of the paper, plus
+// ablation benchmarks for the design axes the paper's conclusions rest
+// on (insertion vs non-insertion, static vs dynamic priority, CP-based
+// vs non-CP-based priorities, topology density).
+//
+// The table/figure benchmarks run the Quick-scale experiment workload;
+// use cmd/dagbench -scale=full for the paper-sized runs. Quality
+// ablations report NSL through b.ReportMetric in addition to time.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/gen"
+	"repro/internal/machine"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := core.Config{Seed: 1998, Scale: core.Quick, Out: io.Discard}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := core.RunExperiment(id, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1PSG(b *testing.B)          { benchExperiment(b, "table1") }
+func BenchmarkTable2RGBOSUNC(b *testing.B)     { benchExperiment(b, "table2") }
+func BenchmarkTable3RGBOSBNP(b *testing.B)     { benchExperiment(b, "table3") }
+func BenchmarkTable4RGPOSUNC(b *testing.B)     { benchExperiment(b, "table4") }
+func BenchmarkTable5RGPOSBNP(b *testing.B)     { benchExperiment(b, "table5") }
+func BenchmarkTable6RunningTimes(b *testing.B) { benchExperiment(b, "table6") }
+func BenchmarkFigure2NSL(b *testing.B)         { benchExperiment(b, "fig2") }
+func BenchmarkFigure3Processors(b *testing.B)  { benchExperiment(b, "fig3") }
+func BenchmarkFigure4Cholesky(b *testing.B)    { benchExperiment(b, "fig4") }
+
+// benchGraphs is a fixed workload of mid-size RGNOS-style graphs shared
+// by the per-algorithm and ablation benchmarks.
+func benchGraphs() []*dag.Graph {
+	rng := rand.New(rand.NewSource(7))
+	graphs := make([]*dag.Graph, 0, 6)
+	for _, ccr := range []float64{0.5, 2.0} {
+		for _, par := range []int{1, 3, 5} {
+			graphs = append(graphs, gen.RGNOSGraph(rng, 100, ccr, par))
+		}
+	}
+	return graphs
+}
+
+// BenchmarkAlgorithm measures each of the 15 algorithms on the shared
+// 100-node workload — the per-algorithm running-time comparison behind
+// Table 6.
+func BenchmarkAlgorithm(b *testing.B) {
+	graphs := benchGraphs()
+	topo := machine.Hypercube(3)
+	for _, a := range core.All() {
+		a := a
+		b.Run(string(a.Class)+"/"+a.Name, func(b *testing.B) {
+			var nsl float64
+			for i := 0; i < b.N; i++ {
+				nsl = 0
+				for _, g := range graphs {
+					res, err := a.Run(g, core.BNPProcs(g.NumNodes()), topo)
+					if err != nil {
+						b.Fatal(err)
+					}
+					nsl += res.NSL
+				}
+			}
+			b.ReportMetric(nsl/float64(len(graphs)), "nsl")
+		})
+	}
+}
+
+// BenchmarkAblationInsertion isolates the paper's "insertion is better
+// than non-insertion" finding: ISH is HLFET plus hole filling, so the
+// NSL gap between the two sub-benchmarks is the value of insertion.
+func BenchmarkAblationInsertion(b *testing.B) {
+	graphs := benchGraphs()
+	for _, alg := range []string{"HLFET", "ISH"} {
+		alg := alg
+		b.Run(alg, func(b *testing.B) {
+			var nsl float64
+			for i := 0; i < b.N; i++ {
+				nsl = 0
+				for _, g := range graphs {
+					s, err := ScheduleBNP(alg, g, 8)
+					if err != nil {
+						b.Fatal(err)
+					}
+					nsl += s.NSL()
+				}
+			}
+			b.ReportMetric(nsl/float64(len(graphs)), "nsl")
+		})
+	}
+}
+
+// BenchmarkAblationPriority isolates "dynamic priority beats static,
+// except MCP": HLFET (static level list) vs ETF and DLS (dynamic
+// node-processor selection) vs MCP (static ALAP list, the exception).
+func BenchmarkAblationPriority(b *testing.B) {
+	graphs := benchGraphs()
+	for _, alg := range []string{"HLFET", "ETF", "DLS", "MCP"} {
+		alg := alg
+		b.Run(alg, func(b *testing.B) {
+			var nsl float64
+			for i := 0; i < b.N; i++ {
+				nsl = 0
+				for _, g := range graphs {
+					s, err := ScheduleBNP(alg, g, 8)
+					if err != nil {
+						b.Fatal(err)
+					}
+					nsl += s.NSL()
+				}
+			}
+			b.ReportMetric(nsl/float64(len(graphs)), "nsl")
+		})
+	}
+}
+
+// BenchmarkAblationCriticalPath isolates "CP-based beats non-CP-based"
+// within the UNC class: DCP and DSC (CP-driven) against EZ and LC.
+func BenchmarkAblationCriticalPath(b *testing.B) {
+	graphs := benchGraphs()
+	for _, alg := range []string{"DCP", "DSC", "EZ", "LC"} {
+		alg := alg
+		b.Run(alg, func(b *testing.B) {
+			var nsl float64
+			for i := 0; i < b.N; i++ {
+				nsl = 0
+				for _, g := range graphs {
+					s, err := ScheduleUNC(alg, g)
+					if err != nil {
+						b.Fatal(err)
+					}
+					nsl += s.NSL()
+				}
+			}
+			b.ReportMetric(nsl/float64(len(graphs)), "nsl")
+		})
+	}
+}
+
+// BenchmarkAblationTopology isolates the paper's observation that "all
+// algorithms perform better on networks with more communication links":
+// BSA on progressively denser 8-processor networks.
+func BenchmarkAblationTopology(b *testing.B) {
+	graphs := benchGraphs()
+	topos := map[string]*machine.Topology{
+		"chain":     machine.Chain(8),
+		"ring":      machine.Ring(8),
+		"hypercube": machine.Hypercube(3),
+		"clique":    machine.Clique(8),
+	}
+	for _, name := range []string{"chain", "ring", "hypercube", "clique"} {
+		topo := topos[name]
+		b.Run(name, func(b *testing.B) {
+			var nsl float64
+			for i := 0; i < b.N; i++ {
+				nsl = 0
+				for _, g := range graphs {
+					s, err := ScheduleAPN("BSA", g, topo)
+					if err != nil {
+						b.Fatal(err)
+					}
+					nsl += s.NSL()
+				}
+			}
+			b.ReportMetric(nsl/float64(len(graphs)), "nsl")
+		})
+	}
+}
+
+// BenchmarkOptimalSearch measures the branch-and-bound on an
+// RGBOS-sized instance (the cost behind Tables 2 and 3).
+func BenchmarkOptimalSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := gen.RGBOSGraph(rng, 14, 1.0)
+	for i := 0; i < b.N; i++ {
+		if _, err := ScheduleOptimal(g, g.NumNodes(), OptimalOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Command dagbench regenerates the tables and figures of Kwok & Ahmad,
+// "Benchmarking the Task Graph Scheduling Algorithms" (IPPS 1998).
+//
+// Usage:
+//
+//	dagbench [-exp table1|...|fig4|all] [-scale quick|full] [-seed N]
+//
+// With -scale=quick (the default) each experiment runs a reduced
+// workload in seconds; -scale=full reproduces the paper's instance
+// counts and can take minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	taskgraph "repro"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1..table6, fig2..fig4, or all)")
+	scale := flag.String("scale", "quick", "workload scale: quick or full")
+	seed := flag.Int64("seed", 1998, "random seed for the benchmark suites")
+	flag.Parse()
+
+	cfg := taskgraph.ExperimentConfig{Seed: *seed, Out: os.Stdout}
+	switch *scale {
+	case "quick":
+		cfg.Scale = taskgraph.Quick
+	case "full":
+		cfg.Scale = taskgraph.Full
+	default:
+		fmt.Fprintf(os.Stderr, "dagbench: unknown scale %q (want quick or full)\n", *scale)
+		os.Exit(2)
+	}
+
+	ids := taskgraph.ExperimentIDs()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := taskgraph.RunExperiment(id, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "dagbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stdout, "(%s finished in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

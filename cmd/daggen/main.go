@@ -1,0 +1,80 @@
+// Command daggen generates benchmark task graphs in the text exchange
+// format, so they can be inspected with dagview, solved with dagopt, or
+// consumed by external tools.
+//
+// Usage:
+//
+//	daggen -suite rgbos  -v 20 -ccr 1.0 [-seed N]        > g.tg
+//	daggen -suite rgnos  -v 100 -ccr 2.0 -parallelism 3  > g.tg
+//	daggen -suite cholesky -n 8 -ccr 1.0                 > g.tg
+//	daggen -suite gauss    -n 6 -ccr 0.5                 > g.tg
+//	daggen -suite fft      -n 16 -ccr 1.0                > g.tg
+//	daggen -suite psg -name kwok-ahmad-9                 > g.tg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	taskgraph "repro"
+	"repro/internal/dag"
+	"repro/internal/gen"
+)
+
+func main() {
+	suite := flag.String("suite", "rgnos", "rgbos, rgnos, cholesky, gauss, fft, or psg")
+	v := flag.Int("v", 50, "node count (rgbos, rgnos)")
+	n := flag.Int("n", 8, "matrix dimension / point count (cholesky, gauss, fft)")
+	ccr := flag.Float64("ccr", 1.0, "communication-to-computation ratio")
+	parallelism := flag.Int("parallelism", 3, "RGNOS width parameter (1..5)")
+	seed := flag.Int64("seed", 1, "random seed")
+	name := flag.String("name", "", "PSG graph name (with -suite psg); empty lists names")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var g *dag.Graph
+	var err error
+	switch *suite {
+	case "rgbos":
+		g = gen.RGBOSGraph(rng, *v, *ccr)
+	case "rgnos":
+		g = gen.RGNOSGraph(rng, *v, *ccr, *parallelism)
+	case "cholesky":
+		g, err = taskgraph.Cholesky(*n, *ccr)
+	case "gauss":
+		g, err = taskgraph.GaussianElimination(*n, *ccr)
+	case "fft":
+		g, err = taskgraph.FFT(*n, *ccr)
+	case "psg":
+		for _, ng := range taskgraph.PeerSet() {
+			if ng.Name == *name {
+				g = ng.G
+				break
+			}
+		}
+		if g == nil {
+			fmt.Fprintln(os.Stderr, "daggen: available PSG names:")
+			for _, ng := range taskgraph.PeerSet() {
+				fmt.Fprintf(os.Stderr, "  %-20s %s\n", ng.Name, ng.Source)
+			}
+			os.Exit(2)
+		}
+	default:
+		fail(fmt.Errorf("unknown suite %q", *suite))
+	}
+	if err != nil {
+		fail(err)
+	}
+	st := dag.ComputeStats(g)
+	fmt.Fprintf(os.Stderr, "daggen: %s\n", st)
+	if err := taskgraph.WriteGraph(os.Stdout, g); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "daggen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Command dagopt runs the exact branch-and-bound scheduler on a task
+// graph in the text exchange format — the role the paper's parallel A*
+// played for its RGBOS suite.
+//
+// Usage:
+//
+//	dagopt [-procs N] [-budget N] [-compare] file.tg
+//
+// -compare additionally runs every BNP and UNC heuristic and reports
+// each one's percentage degradation from the optimum.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	taskgraph "repro"
+)
+
+func main() {
+	procs := flag.Int("procs", 4, "number of processors")
+	budget := flag.Int64("budget", 0, "search-node budget (0 = default)")
+	compare := flag.Bool("compare", false, "also run the clique heuristics and show degradations")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	g, err := taskgraph.ReadGraph(in)
+	if err != nil {
+		fail(err)
+	}
+
+	res, err := taskgraph.ScheduleOptimal(g, *procs, taskgraph.OptimalOptions{MaxExpansions: *budget})
+	if err != nil {
+		fail(err)
+	}
+	status := "proven optimal"
+	if !res.Closed {
+		status = "best found (budget exhausted, NOT proven optimal)"
+	}
+	fmt.Printf("length=%d  %s  expansions=%d\n", res.Length, status, res.Expansions)
+	fmt.Print(res.Schedule)
+
+	if !*compare {
+		return
+	}
+	fmt.Println("\nheuristic comparison:")
+	for _, name := range taskgraph.AlgorithmNames(taskgraph.BNP) {
+		s, err := taskgraph.ScheduleBNP(name, g, *procs)
+		if err != nil {
+			fail(err)
+		}
+		report(name, "BNP", s.Length(), res.Length)
+	}
+	for _, name := range taskgraph.AlgorithmNames(taskgraph.UNC) {
+		s, err := taskgraph.ScheduleUNC(name, g)
+		if err != nil {
+			fail(err)
+		}
+		report(name, "UNC", s.Length(), res.Length)
+	}
+}
+
+func report(name, class string, length, opt int64) {
+	deg := 100 * float64(length-opt) / float64(opt)
+	fmt.Printf("  %-6s (%s)  length=%-6d  degradation=%+.1f%%\n", name, class, length, deg)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dagopt:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Command dagview inspects a task graph stored in the text exchange
+// format: it prints size statistics, levels, the critical path, can
+// export Graphviz dot, and can schedule the graph with any of the 15
+// algorithms to show the resulting timeline.
+//
+// Usage:
+//
+//	dagview [-dot] [-algo NAME] [-procs N] [-topo hypercube8|ring4|...] file.tg
+//
+// Without a file argument, dagview reads the graph from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	taskgraph "repro"
+)
+
+func main() {
+	dot := flag.Bool("dot", false, "print the graph in Graphviz dot format and exit")
+	algoName := flag.String("algo", "", "schedule with this algorithm (e.g. MCP, DCP, BSA)")
+	procs := flag.Int("procs", 4, "processor count for BNP algorithms")
+	topoName := flag.String("topo", "hypercube8", "topology for APN algorithms")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	g, err := taskgraph.ReadGraph(in)
+	if err != nil {
+		fail(err)
+	}
+
+	if *dot {
+		fmt.Print(taskgraph.DOT(g, "taskgraph"))
+		return
+	}
+
+	lv := taskgraph.ComputeLevels(g)
+	fmt.Printf("nodes=%d edges=%d CCR=%.3f width=%d\n",
+		g.NumNodes(), g.NumEdges(), g.CCR(), taskgraph.Width(g))
+	fmt.Printf("critical path length=%d path=%v\n", lv.CPLength, taskgraph.CriticalPath(g))
+
+	if *algoName == "" {
+		fmt.Println("\nnode  weight  t-level  b-level  static  ALAP")
+		for v := 0; v < g.NumNodes(); v++ {
+			n := taskgraph.NodeID(v)
+			fmt.Printf("%4d  %6d  %7d  %7d  %6d  %4d\n",
+				v, g.Weight(n), lv.T[n], lv.B[n], lv.Static[n], lv.ALAP[n])
+		}
+		return
+	}
+
+	name := strings.ToUpper(*algoName)
+	if s, err := taskgraph.ScheduleBNP(name, g, *procs); err == nil {
+		fmt.Printf("\n%s (BNP, %d procs):\n%s", name, *procs, s)
+		return
+	}
+	if s, err := taskgraph.ScheduleUNC(name, g); err == nil {
+		fmt.Printf("\n%s (UNC):\n%s", name, s)
+		return
+	}
+	topo, err := parseTopo(*topoName)
+	if err != nil {
+		fail(err)
+	}
+	s, err := taskgraph.ScheduleAPN(name, g, topo)
+	if err != nil {
+		fail(fmt.Errorf("unknown algorithm %q", *algoName))
+	}
+	fmt.Printf("\n%s (APN, %s):\n%s", name, topo.Name(), s)
+}
+
+func parseTopo(name string) (*taskgraph.Topology, error) {
+	switch name {
+	case "hypercube8":
+		return taskgraph.Hypercube(3), nil
+	case "hypercube16":
+		return taskgraph.Hypercube(4), nil
+	case "ring4":
+		return taskgraph.Ring(4), nil
+	case "ring8":
+		return taskgraph.Ring(8), nil
+	case "mesh9":
+		return taskgraph.Mesh(3, 3), nil
+	case "star8":
+		return taskgraph.Star(8), nil
+	case "clique8":
+		return taskgraph.Clique(8), nil
+	case "torus9":
+		return taskgraph.Torus(3, 3), nil
+	case "btree7":
+		return taskgraph.BinaryTree(3), nil
+	}
+	return nil, fmt.Errorf("unknown topology %q", name)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dagview:", err)
+	os.Exit(1)
+}

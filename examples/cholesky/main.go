@@ -1,0 +1,56 @@
+// Cholesky: schedule the traced graph of a Cholesky factorization (the
+// paper's TG benchmark suite) with one algorithm from each class and
+// compare schedule lengths, NSL, and processor usage as the matrix
+// dimension grows.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	taskgraph "repro"
+)
+
+func main() {
+	topo := taskgraph.Hypercube(3) // 8 processors, as in the paper's APN runs
+
+	fmt.Println("Cholesky factorization task graphs (CCR 1.0)")
+	fmt.Println("N    tasks  MCP/8procs        DCP/unbounded      BSA/hypercube-8")
+	for _, n := range []int{4, 8, 12, 16} {
+		g, err := taskgraph.Cholesky(n, 1.0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mcp, err := taskgraph.ScheduleBNP("MCP", g, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dcp, err := taskgraph.ScheduleUNC("DCP", g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bsa, err := taskgraph.ScheduleAPN("BSA", g, topo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4d %-6d len=%-6d nsl=%.2f   len=%-6d nsl=%.2f   len=%-6d nsl=%.2f\n",
+			n, g.NumNodes(),
+			mcp.Length(), mcp.NSL(),
+			dcp.Length(), dcp.NSL(),
+			bsa.Length(), bsa.NSL())
+	}
+
+	// The paper's observation: the UNC class can exploit extra
+	// processors on these regular graphs, while the APN class pays for
+	// link contention on the hypercube.
+	g, err := taskgraph.Cholesky(12, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dcp, err := taskgraph.ScheduleUNC("DCP", g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDCP on N=12 uses %d processors for %d tasks\n",
+		dcp.ProcessorsUsed(), g.NumNodes())
+}

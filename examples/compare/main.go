@@ -1,0 +1,89 @@
+// Compare: run all 15 algorithms of the study on one realistic workload
+// (a Gaussian-elimination traced graph) and print the paper-style
+// comparison: schedule length, NSL, processors used, and running time,
+// grouped by class.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	taskgraph "repro"
+)
+
+type row struct {
+	name    string
+	class   string
+	length  int64
+	nsl     float64
+	procs   int
+	elapsed time.Duration
+}
+
+func main() {
+	g, err := taskgraph.GaussianElimination(10, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Gaussian elimination N=10: %d tasks, %d edges, CCR %.2f\n\n",
+		g.NumNodes(), g.NumEdges(), g.CCR())
+
+	var rows []row
+	run := func(name, class string, f func() (int64, float64, int, error)) {
+		start := time.Now()
+		length, nsl, procs, err := f()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		rows = append(rows, row{name, class, length, nsl, procs, time.Since(start)})
+	}
+
+	for _, name := range taskgraph.AlgorithmNames(taskgraph.BNP) {
+		name := name
+		run(name, "BNP", func() (int64, float64, int, error) {
+			s, err := taskgraph.ScheduleBNP(name, g, 8)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return s.Length(), s.NSL(), s.ProcessorsUsed(), nil
+		})
+	}
+	for _, name := range taskgraph.AlgorithmNames(taskgraph.UNC) {
+		name := name
+		run(name, "UNC", func() (int64, float64, int, error) {
+			s, err := taskgraph.ScheduleUNC(name, g)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return s.Length(), s.NSL(), s.ProcessorsUsed(), nil
+		})
+	}
+	topo := taskgraph.Hypercube(3)
+	for _, name := range taskgraph.AlgorithmNames(taskgraph.APN) {
+		name := name
+		run(name+"*", "APN", func() (int64, float64, int, error) {
+			s, err := taskgraph.ScheduleAPN(name, g, topo)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return s.Length(), s.NSL(), s.ProcessorsUsed(), nil
+		})
+	}
+
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].class != rows[j].class {
+			return rows[i].class < rows[j].class
+		}
+		return rows[i].length < rows[j].length
+	})
+	fmt.Println("class  algorithm  length   NSL     procs  time")
+	for _, r := range rows {
+		fmt.Printf("%-6s %-9s  %-7d  %-6.3f  %-5d  %s\n",
+			r.class, r.name, r.length, r.nsl, r.procs, r.elapsed.Round(time.Microsecond))
+	}
+	fmt.Println("\n* APN algorithms schedule messages on an 8-processor hypercube;")
+	fmt.Println("  their lengths include link contention and are not directly")
+	fmt.Println("  comparable to the clique-model classes.")
+}

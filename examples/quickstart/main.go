@@ -1,0 +1,58 @@
+// Quickstart: build a small task graph by hand, inspect its scheduling
+// attributes, and schedule it with a BNP list scheduler, a UNC
+// clustering algorithm, and the exact branch-and-bound solver.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	taskgraph "repro"
+)
+
+func main() {
+	// The diamond used throughout the repository's documentation:
+	//
+	//	a(2) --1--> b(3) --2--> d(1)
+	//	a(2) --5--> c(4) --3--> d(1)
+	b := taskgraph.NewBuilder()
+	a := b.AddLabeledNode(2, "a")
+	nb := b.AddLabeledNode(3, "b")
+	c := b.AddLabeledNode(4, "c")
+	d := b.AddLabeledNode(1, "d")
+	b.AddEdge(a, nb, 1)
+	b.AddEdge(a, c, 5)
+	b.AddEdge(nb, d, 2)
+	b.AddEdge(c, d, 3)
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lv := taskgraph.ComputeLevels(g)
+	fmt.Printf("graph: %d tasks, %d edges, CCR %.2f, width %d\n",
+		g.NumNodes(), g.NumEdges(), g.CCR(), taskgraph.Width(g))
+	fmt.Printf("critical path %v, length %d\n\n", taskgraph.CriticalPath(g), lv.CPLength)
+
+	// MCP: the paper's best BNP algorithm, on two processors.
+	mcp, err := taskgraph.ScheduleBNP("MCP", g, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MCP on 2 processors (NSL %.3f):\n%s\n", mcp.NSL(), mcp)
+
+	// DCP: the paper's best UNC algorithm, unbounded processors.
+	dcp, err := taskgraph.ScheduleUNC("DCP", g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DCP with unbounded processors (NSL %.3f):\n%s\n", dcp.NSL(), dcp)
+
+	// Exact optimum for reference.
+	opt, err := taskgraph.ScheduleOptimal(g, 2, taskgraph.OptimalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("branch-and-bound optimum on 2 processors: %d (proven=%v)\n",
+		opt.Length, opt.Closed)
+}

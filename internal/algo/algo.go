@@ -1,0 +1,101 @@
+// Package algo provides the pieces shared by the scheduling algorithm
+// implementations in its subpackages bnp, unc, and apn: ready-set
+// bookkeeping for list scheduling and deterministic priority selection
+// helpers.
+//
+// The three subpackages mirror the taxonomy of Kwok & Ahmad (IPPS 1998,
+// section 4): BNP algorithms schedule onto a bounded clique of
+// processors, UNC algorithms cluster onto an unbounded set, and APN
+// algorithms schedule both tasks and messages onto an arbitrary network.
+package algo
+
+import "repro/internal/dag"
+
+// ReadySet tracks which unscheduled nodes have all parents scheduled.
+// List schedulers pop nodes from it in priority order and feed newly
+// released children back in.
+type ReadySet struct {
+	remaining []int // unscheduled parent count per node
+	ready     []dag.NodeID
+	inReady   []bool
+}
+
+// NewReadySet returns a ready set holding the entry nodes of g.
+func NewReadySet(g *dag.Graph) *ReadySet {
+	n := g.NumNodes()
+	r := &ReadySet{
+		remaining: make([]int, n),
+		inReady:   make([]bool, n),
+	}
+	for v := 0; v < n; v++ {
+		r.remaining[v] = g.InDegree(dag.NodeID(v))
+		if r.remaining[v] == 0 {
+			r.ready = append(r.ready, dag.NodeID(v))
+			r.inReady[v] = true
+		}
+	}
+	return r
+}
+
+// Ready returns the current ready nodes. The slice is shared with the
+// set; callers must not modify it and must not hold it across Pop or
+// MarkScheduled calls.
+func (r *ReadySet) Ready() []dag.NodeID { return r.ready }
+
+// Empty reports whether no node is ready.
+func (r *ReadySet) Empty() bool { return len(r.ready) == 0 }
+
+// Pop removes n from the ready list; it panics if n is not ready,
+// which would indicate a scheduler bug.
+func (r *ReadySet) Pop(n dag.NodeID) {
+	if !r.inReady[n] {
+		panic("algo: Pop of non-ready node")
+	}
+	for i, m := range r.ready {
+		if m == n {
+			r.ready = append(r.ready[:i], r.ready[i+1:]...)
+			break
+		}
+	}
+	r.inReady[n] = false
+}
+
+// MarkScheduled records that n (previously popped) has been scheduled
+// and inserts any children that became ready.
+func (r *ReadySet) MarkScheduled(g *dag.Graph, n dag.NodeID) {
+	for _, a := range g.Succs(n) {
+		r.remaining[a.To]--
+		if r.remaining[a.To] == 0 {
+			r.ready = append(r.ready, a.To)
+			r.inReady[a.To] = true
+		}
+	}
+}
+
+// MaxBy returns the element of ready that maximizes priority, breaking
+// ties toward the smaller node ID. It panics on an empty slice.
+func MaxBy(ready []dag.NodeID, priority func(dag.NodeID) int64) dag.NodeID {
+	best := ready[0]
+	bestP := priority(best)
+	for _, n := range ready[1:] {
+		p := priority(n)
+		if p > bestP || (p == bestP && n < best) {
+			best, bestP = n, p
+		}
+	}
+	return best
+}
+
+// MinBy returns the element of ready that minimizes priority, breaking
+// ties toward the smaller node ID. It panics on an empty slice.
+func MinBy(ready []dag.NodeID, priority func(dag.NodeID) int64) dag.NodeID {
+	best := ready[0]
+	bestP := priority(best)
+	for _, n := range ready[1:] {
+		p := priority(n)
+		if p < bestP || (p == bestP && n < best) {
+			best, bestP = n, p
+		}
+	}
+	return best
+}

@@ -1,0 +1,114 @@
+// Package apn implements the four APN (arbitrary processor network)
+// scheduling algorithms benchmarked by Kwok & Ahmad (IPPS 1998): MH,
+// DLS, BU, and BSA. APN algorithms drop the clique assumption: the
+// processors form an arbitrary topology with contention-prone links, and
+// the algorithms schedule messages on links in addition to tasks on
+// processors (paper section 4), using the store-and-forward model of
+// internal/machine.
+//
+// Every scheduler has the signature
+//
+//	func(g *dag.Graph, topo *machine.Topology) (*machine.Schedule, error)
+package apn
+
+import (
+	"fmt"
+
+	"repro/internal/algo"
+	"repro/internal/dag"
+	"repro/internal/machine"
+)
+
+// Scheduler is the common signature of all APN algorithms.
+type Scheduler func(g *dag.Graph, topo *machine.Topology) (*machine.Schedule, error)
+
+// Algorithms returns the four APN algorithms by name.
+func Algorithms() map[string]Scheduler {
+	return map[string]Scheduler{
+		"MH":  MH,
+		"DLS": DLS,
+		"BU":  BU,
+		"BSA": BSA,
+	}
+}
+
+func checkArgs(g *dag.Graph, topo *machine.Topology) error {
+	if g == nil {
+		return fmt.Errorf("apn: nil graph")
+	}
+	if topo == nil {
+		return fmt.Errorf("apn: nil topology")
+	}
+	return nil
+}
+
+// cpnDominantOrder returns the CPN-dominant sequence of the graph used
+// by BSA: critical-path nodes appear as early as their precedence
+// constraints allow, each preceded by its not-yet-listed ancestors
+// (in-branch nodes) in descending b-level order; the remaining
+// (out-branch) nodes follow, also by descending b-level.
+func cpnDominantOrder(g *dag.Graph) []dag.NodeID {
+	bl := dag.BLevels(g)
+	cp := dag.CriticalPath(g)
+	emitted := make([]bool, g.NumNodes())
+	ready := algo.NewReadySet(g)
+	order := make([]dag.NodeID, 0, g.NumNodes())
+
+	emit := func(n dag.NodeID) {
+		ready.Pop(n)
+		ready.MarkScheduled(g, n)
+		emitted[n] = true
+		order = append(order, n)
+	}
+	// ancestorsOf marks all strict ancestors of c.
+	ancestorsOf := func(c dag.NodeID) []bool {
+		anc := make([]bool, g.NumNodes())
+		stack := []dag.NodeID{c}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range g.Preds(x) {
+				if !anc[p.To] {
+					anc[p.To] = true
+					stack = append(stack, p.To)
+				}
+			}
+		}
+		return anc
+	}
+
+	for _, c := range cp {
+		if emitted[c] {
+			continue
+		}
+		anc := ancestorsOf(c)
+		// Drain the ready ancestors of c (highest b-level first) until c
+		// itself becomes ready, then emit c.
+		for {
+			candidate := dag.None
+			for _, r := range ready.Ready() {
+				if r == c {
+					continue
+				}
+				if !anc[r] {
+					continue
+				}
+				if candidate == dag.None || bl[r] > bl[candidate] ||
+					(bl[r] == bl[candidate] && r < candidate) {
+					candidate = r
+				}
+			}
+			if candidate == dag.None {
+				break
+			}
+			emit(candidate)
+		}
+		emit(c)
+	}
+	// Out-branch nodes: descending b-level, topologically consistent.
+	for !ready.Empty() {
+		n := algo.MaxBy(ready.Ready(), func(m dag.NodeID) int64 { return bl[m] })
+		emit(n)
+	}
+	return order
+}

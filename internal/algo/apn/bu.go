@@ -1,0 +1,104 @@
+package apn
+
+import (
+	"repro/internal/algo"
+	"repro/internal/dag"
+	"repro/internal/machine"
+)
+
+// BU is the Bottom-Up algorithm of Mehdiratta and Ghose (1994).
+//
+// BU first maps every critical-path node to a single processor — the
+// best-connected one — and then assigns the remaining nodes in reverse
+// topological order (hence bottom-up): each node goes to the processor
+// that minimizes its outgoing communication, weighted by the hop
+// distance to its already-assigned children, with processor load as the
+// tie-breaker. Once the assignment is fixed, tasks and messages are
+// scheduled by replaying the per-processor sequences in b-level order.
+//
+// The paper finds BU the fastest APN algorithm but with erratic schedule
+// quality (section 6.4): assignment decisions never revisit start times.
+func BU(g *dag.Graph, topo *machine.Topology) (*machine.Schedule, error) {
+	if err := checkArgs(g, topo); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return machine.NewSchedule(g, topo), nil
+	}
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	// Critical path onto the best-connected processor.
+	pivot := bestConnectedProc(topo)
+	for _, c := range dag.CriticalPath(g) {
+		assign[c] = pivot
+	}
+	load := make([]int64, topo.NumProcs())
+	for v := 0; v < n; v++ {
+		if assign[v] == pivot {
+			load[pivot] += g.Weight(dag.NodeID(v))
+		}
+	}
+	// Remaining nodes in reverse topological order: children first.
+	topoOrder := g.TopoOrder()
+	for i := n - 1; i >= 0; i-- {
+		v := topoOrder[i]
+		if assign[v] >= 0 {
+			continue
+		}
+		bestP := -1
+		var bestCost, bestLoad int64
+		for p := 0; p < topo.NumProcs(); p++ {
+			// Outgoing communication weighted by hop distance, plus the
+			// processor's accumulated load: Mehdiratta and Ghose's
+			// bottom-up pass minimizes communication while spreading
+			// computation, so pure pivot-stacking is penalized.
+			cost := load[p]
+			for _, a := range g.Succs(v) {
+				if assign[a.To] >= 0 {
+					cost += a.Weight * int64(topo.Dist(p, assign[a.To]))
+				}
+			}
+			if bestP == -1 || cost < bestCost || (cost == bestCost && load[p] < bestLoad) {
+				bestP, bestCost, bestLoad = p, cost, load[p]
+			}
+		}
+		assign[v] = bestP
+		load[bestP] += g.Weight(v)
+	}
+	// Per-processor sequences in global b-level order.
+	seqs := make([][]dag.NodeID, topo.NumProcs())
+	for _, v := range blevelOrder(g) {
+		seqs[assign[v]] = append(seqs[assign[v]], v)
+	}
+	return machine.ReplaySequences(g, topo, seqs)
+}
+
+// bestConnectedProc returns the processor with the highest degree,
+// breaking ties toward the lowest index.
+func bestConnectedProc(topo *machine.Topology) int {
+	best := 0
+	for p := 1; p < topo.NumProcs(); p++ {
+		if topo.Degree(p) > topo.Degree(best) {
+			best = p
+		}
+	}
+	return best
+}
+
+// blevelOrder returns nodes in descending b-level order, kept
+// topological by a priority-driven Kahn pass.
+func blevelOrder(g *dag.Graph) []dag.NodeID {
+	bl := dag.BLevels(g)
+	ready := algo.NewReadySet(g)
+	order := make([]dag.NodeID, 0, g.NumNodes())
+	for !ready.Empty() {
+		n := algo.MaxBy(ready.Ready(), func(m dag.NodeID) int64 { return bl[m] })
+		ready.Pop(n)
+		ready.MarkScheduled(g, n)
+		order = append(order, n)
+	}
+	return order
+}

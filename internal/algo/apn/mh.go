@@ -1,0 +1,42 @@
+package apn
+
+import (
+	"repro/internal/algo"
+	"repro/internal/dag"
+	"repro/internal/machine"
+)
+
+// MH is the Mapping Heuristic of El-Rewini and Lewis (1990), the classic
+// list scheduler for arbitrary topologies.
+//
+// Ready nodes are prioritized by static level. The selected node is
+// placed on the processor with the smallest earliest start time, where
+// start times account for message routing over the network: each
+// parent's message is routed hop-by-hop along the shortest path and
+// queued behind earlier traffic on every link (El-Rewini and Lewis
+// model link delay with routing tables updated as messages commit; the
+// machine package's store-and-forward link timelines play that role
+// here). Placement on the processor is non-insertion.
+//
+// The paper observes MH "yields fairly long schedule lengths for large
+// graphs" (section 6.4.1) — priorities ignore communication, and no
+// insertion is attempted.
+func MH(g *dag.Graph, topo *machine.Topology) (*machine.Schedule, error) {
+	if err := checkArgs(g, topo); err != nil {
+		return nil, err
+	}
+	sl := dag.StaticLevels(g)
+	s := machine.NewSchedule(g, topo)
+	ready := algo.NewReadySet(g)
+	for !ready.Empty() {
+		n := algo.MaxBy(ready.Ready(), func(m dag.NodeID) int64 { return sl[m] })
+		ready.Pop(n)
+		p, est, ok := s.BestEST(n, false)
+		if !ok {
+			panic("apn: MH popped node with unscheduled parent")
+		}
+		s.MustPlace(n, p, est)
+		ready.MarkScheduled(g, n)
+	}
+	return s, nil
+}

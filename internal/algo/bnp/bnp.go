@@ -1,0 +1,47 @@
+// Package bnp implements the six BNP (bounded number of processors)
+// scheduling algorithms benchmarked by Kwok & Ahmad (IPPS 1998): HLFET,
+// ISH, MCP, ETF, DLS, and LAST. All assume a fully connected,
+// contention-free set of homogeneous processors (the clique model of
+// internal/sched).
+//
+// Every scheduler has the signature
+//
+//	func(g *dag.Graph, numProcs int) (*sched.Schedule, error)
+//
+// and returns a complete, validated-by-construction schedule. The
+// schedulers are deterministic: all ties break toward smaller node IDs
+// and lower processor indices.
+package bnp
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/sched"
+)
+
+// Scheduler is the common signature of all BNP algorithms.
+type Scheduler func(g *dag.Graph, numProcs int) (*sched.Schedule, error)
+
+// Algorithms returns the BNP algorithms in the order used by the paper's
+// tables: HLFET, ISH, ETF, LAST, MCP, DLS.
+func Algorithms() map[string]Scheduler {
+	return map[string]Scheduler{
+		"HLFET": HLFET,
+		"ISH":   ISH,
+		"ETF":   ETF,
+		"LAST":  LAST,
+		"MCP":   MCP,
+		"DLS":   DLS,
+	}
+}
+
+func checkArgs(g *dag.Graph, numProcs int) error {
+	if g == nil {
+		return fmt.Errorf("bnp: nil graph")
+	}
+	if numProcs < 1 {
+		return fmt.Errorf("bnp: need at least one processor, got %d", numProcs)
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package bnp
+
+import (
+	"repro/internal/algo"
+	"repro/internal/dag"
+	"repro/internal/sched"
+)
+
+// DLS is the Dynamic Level Scheduling algorithm of Sih and Lee (1993),
+// in its BNP form (the APN form, which also schedules messages, lives in
+// internal/algo/apn).
+//
+// The dynamic level of a ready node n on processor p is
+//
+//	DL(n, p) = SL(n) − EST(n, p)
+//
+// where SL is the static level. At each step the (node, processor) pair
+// with the largest dynamic level is selected; placement is
+// non-insertion. Like ETF this scans all ready-node/processor pairs, and
+// the paper ranks the two slowest among the BNP class (Table 6).
+func DLS(g *dag.Graph, numProcs int) (*sched.Schedule, error) {
+	if err := checkArgs(g, numProcs); err != nil {
+		return nil, err
+	}
+	sl := dag.StaticLevels(g)
+	s := sched.New(g, numProcs)
+	ready := algo.NewReadySet(g)
+	for !ready.Empty() {
+		bestNode := dag.None
+		bestProc := -1
+		var bestDL, bestEST int64
+		for _, n := range ready.Ready() {
+			for p := 0; p < numProcs; p++ {
+				est, ok := s.ESTOn(n, p, false)
+				if !ok {
+					panic("bnp: DLS ready node has unscheduled parent")
+				}
+				dl := sl[n] - est
+				if bestNode == dag.None || dl > bestDL ||
+					(dl == bestDL && (n < bestNode || (n == bestNode && p < bestProc))) {
+					bestNode, bestProc, bestDL, bestEST = n, p, dl, est
+				}
+			}
+		}
+		ready.Pop(bestNode)
+		s.MustPlace(bestNode, bestProc, bestEST)
+		ready.MarkScheduled(g, bestNode)
+	}
+	return s, nil
+}

@@ -1,0 +1,60 @@
+package bnp
+
+import (
+	"repro/internal/algo"
+	"repro/internal/dag"
+	"repro/internal/sched"
+)
+
+// ETF is the Earliest Time First algorithm of Hwang, Chow, Anger and Lee
+// (1989).
+//
+// At each step ETF computes the earliest start time of every ready node
+// on every processor and selects the (node, processor) pair with the
+// smallest value; ties are broken toward the node with the higher static
+// level, then the smaller node ID and lower processor index. Placement
+// is non-insertion. The exhaustive pair scan makes ETF one of the two
+// slowest BNP algorithms in the paper's Table 6, with complexity
+// O(p·v^2).
+func ETF(g *dag.Graph, numProcs int) (*sched.Schedule, error) {
+	if err := checkArgs(g, numProcs); err != nil {
+		return nil, err
+	}
+	sl := dag.StaticLevels(g)
+	s := sched.New(g, numProcs)
+	ready := algo.NewReadySet(g)
+	for !ready.Empty() {
+		bestNode := dag.None
+		bestProc := -1
+		var bestEST int64
+		for _, n := range ready.Ready() {
+			for p := 0; p < numProcs; p++ {
+				est, ok := s.ESTOn(n, p, false)
+				if !ok {
+					panic("bnp: ETF ready node has unscheduled parent")
+				}
+				if bestNode == dag.None || est < bestEST ||
+					(est == bestEST && betterETFTie(sl, n, p, bestNode, bestProc)) {
+					bestNode, bestProc, bestEST = n, p, est
+				}
+			}
+		}
+		ready.Pop(bestNode)
+		s.MustPlace(bestNode, bestProc, bestEST)
+		ready.MarkScheduled(g, bestNode)
+	}
+	return s, nil
+}
+
+// betterETFTie reports whether candidate (n,p) wins the tie against the
+// incumbent (bn,bp) at equal EST: higher static level, then smaller node
+// ID, then lower processor index.
+func betterETFTie(sl []int64, n dag.NodeID, p int, bn dag.NodeID, bp int) bool {
+	if sl[n] != sl[bn] {
+		return sl[n] > sl[bn]
+	}
+	if n != bn {
+		return n < bn
+	}
+	return p < bp
+}

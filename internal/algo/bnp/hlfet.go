@@ -1,0 +1,34 @@
+package bnp
+
+import (
+	"repro/internal/algo"
+	"repro/internal/dag"
+	"repro/internal/sched"
+)
+
+// HLFET is the Highest Level First with Estimated Times algorithm of
+// Adam, Chandy and Dickson (1974), one of the earliest list schedulers.
+//
+// Priorities are static levels (b-levels with communication ignored).
+// At each step the ready node with the highest static level is scheduled
+// onto the processor that allows its earliest start time, without
+// insertion. Complexity O(v^2) for the list plus O(v·p) placements.
+func HLFET(g *dag.Graph, numProcs int) (*sched.Schedule, error) {
+	if err := checkArgs(g, numProcs); err != nil {
+		return nil, err
+	}
+	sl := dag.StaticLevels(g)
+	s := sched.New(g, numProcs)
+	ready := algo.NewReadySet(g)
+	for !ready.Empty() {
+		n := algo.MaxBy(ready.Ready(), func(n dag.NodeID) int64 { return sl[n] })
+		ready.Pop(n)
+		p, est, ok := s.BestEST(n, false)
+		if !ok {
+			panic("bnp: HLFET popped node with unscheduled parent")
+		}
+		s.MustPlace(n, p, est)
+		ready.MarkScheduled(g, n)
+	}
+	return s, nil
+}

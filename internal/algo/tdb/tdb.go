@@ -1,0 +1,195 @@
+// Package tdb implements task-duplication-based (TDB) scheduling, the
+// fourth algorithm family in the taxonomy of Kwok & Ahmad (IPPS 1998,
+// section 4). TDB algorithms reduce communication by redundantly
+// executing ancestor tasks on multiple processors. The paper describes
+// the family but excludes it from its 15-algorithm study ("to narrow the
+// scope of this paper, we do not consider TDB algorithms"); this package
+// reproduces the family's classic representative, DSH, as an extension.
+//
+// Duplication breaks the one-copy-per-task invariant of sched.Schedule,
+// so this package carries its own DupSchedule with per-task copy lists
+// and a validator aware of "data available from the earliest copy".
+package tdb
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/sched"
+)
+
+// Copy is one execution instance of a task on a processor.
+type Copy struct {
+	Proc   int
+	Start  int64
+	Finish int64
+}
+
+// DupSchedule is a schedule in which a task may execute on several
+// processors. Placement is append-only per processor, matching the
+// duplication heuristics' "fill the idle slot before the node" behaviour.
+type DupSchedule struct {
+	g       *dag.Graph
+	procs   []sched.Timeline
+	copies  [][]Copy // per node
+	primary int      // number of nodes with at least one copy
+}
+
+// NewDupSchedule returns an empty duplication schedule on numProcs
+// processors.
+func NewDupSchedule(g *dag.Graph, numProcs int) *DupSchedule {
+	if numProcs < 1 {
+		numProcs = 1
+	}
+	return &DupSchedule{
+		g:      g,
+		procs:  make([]sched.Timeline, numProcs),
+		copies: make([][]Copy, g.NumNodes()),
+	}
+}
+
+// Graph returns the scheduled graph.
+func (d *DupSchedule) Graph() *dag.Graph { return d.g }
+
+// NumProcs returns the processor count.
+func (d *DupSchedule) NumProcs() int { return len(d.procs) }
+
+// Copies returns the execution instances of node n.
+func (d *DupSchedule) Copies(n dag.NodeID) []Copy { return d.copies[n] }
+
+// IsScheduled reports whether n has at least one copy.
+func (d *DupSchedule) IsScheduled(n dag.NodeID) bool { return len(d.copies[n]) > 0 }
+
+// Complete reports whether every node has at least one copy.
+func (d *DupSchedule) Complete() bool { return d.primary == d.g.NumNodes() }
+
+// ProcEnd returns the current frontier (last finish time) of processor p.
+func (d *DupSchedule) ProcEnd(p int) int64 { return d.procs[p].LastFinish() }
+
+// Length returns the makespan: the latest finish over all copies.
+func (d *DupSchedule) Length() int64 {
+	var max int64
+	for i := range d.procs {
+		if f := d.procs[i].LastFinish(); f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// ProcessorsUsed returns the number of processors running any copy.
+func (d *DupSchedule) ProcessorsUsed() int {
+	used := 0
+	for i := range d.procs {
+		if d.procs[i].Len() > 0 {
+			used++
+		}
+	}
+	return used
+}
+
+// NSL returns the normalized schedule length.
+func (d *DupSchedule) NSL() float64 {
+	den := dag.CPComputationSum(d.g)
+	if den == 0 {
+		return 0
+	}
+	return float64(d.Length()) / float64(den)
+}
+
+// Arrival returns the earliest time node n's output can be available on
+// processor p, over all copies of n (0 cost for a local copy). ok is
+// false when n has no copy.
+func (d *DupSchedule) Arrival(n dag.NodeID, p int, edgeCost int64) (int64, bool) {
+	if len(d.copies[n]) == 0 {
+		return 0, false
+	}
+	best := int64(-1)
+	for _, c := range d.copies[n] {
+		t := c.Finish
+		if c.Proc != p {
+			t += edgeCost
+		}
+		if best < 0 || t < best {
+			best = t
+		}
+	}
+	return best, true
+}
+
+// DataReady returns the earliest time all of n's inputs can be present
+// on processor p given the current copies. ok is false when a parent has
+// no copy yet.
+func (d *DupSchedule) DataReady(n dag.NodeID, p int) (int64, bool) {
+	var drt int64
+	for _, pr := range d.g.Preds(n) {
+		arr, ok := d.Arrival(pr.To, p, pr.Weight)
+		if !ok {
+			return 0, false
+		}
+		if arr > drt {
+			drt = arr
+		}
+	}
+	return drt, true
+}
+
+// place appends a copy of n on processor p at the given start time,
+// which must be at or after the processor frontier.
+func (d *DupSchedule) place(n dag.NodeID, p int, start int64) error {
+	if start < d.procs[p].LastFinish() {
+		return fmt.Errorf("tdb: copy of %d at %d before frontier %d on P%d",
+			n, start, d.procs[p].LastFinish(), p)
+	}
+	finish := start + d.g.Weight(n)
+	if err := d.procs[p].Insert(sched.Slot{Node: n, Start: start, Finish: finish}); err != nil {
+		return err
+	}
+	if len(d.copies[n]) == 0 {
+		d.primary++
+	}
+	d.copies[n] = append(d.copies[n], Copy{Proc: p, Start: start, Finish: finish})
+	return nil
+}
+
+// Validate checks timeline exclusivity and that every copy starts only
+// after all parent data is available on its processor from some copy.
+func (d *DupSchedule) Validate() error {
+	for p := range d.procs {
+		if err := d.procs[p].Validate(); err != nil {
+			return fmt.Errorf("tdb: P%d: %w", p, err)
+		}
+		for _, sl := range d.procs[p].Slots() {
+			if sl.Finish-sl.Start != d.g.Weight(sl.Node) {
+				return fmt.Errorf("tdb: copy of %d has wrong duration", sl.Node)
+			}
+			for _, pr := range d.g.Preds(sl.Node) {
+				arr, ok := d.Arrival(pr.To, p, pr.Weight)
+				if !ok {
+					return fmt.Errorf("tdb: copy of %d has parent %d with no copy", sl.Node, pr.To)
+				}
+				if arr > sl.Start {
+					return fmt.Errorf("tdb: copy of %d at %d starts before parent %d data at %d",
+						sl.Node, sl.Start, pr.To, arr)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the per-processor copy timelines.
+func (d *DupSchedule) String() string {
+	out := fmt.Sprintf("tdb schedule length=%d procs=%d\n", d.Length(), d.ProcessorsUsed())
+	for p := range d.procs {
+		if d.procs[p].Len() == 0 {
+			continue
+		}
+		out += fmt.Sprintf("P%d:", p)
+		for _, sl := range d.procs[p].Slots() {
+			out += fmt.Sprintf(" n%d[%d,%d)", sl.Node, sl.Start, sl.Finish)
+		}
+		out += "\n"
+	}
+	return out
+}

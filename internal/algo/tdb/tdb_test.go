@@ -1,0 +1,152 @@
+package tdb
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algo/bnp"
+	"repro/internal/dag"
+)
+
+func randomGraph(rng *rand.Rand, n int, commScale int64) *dag.Graph {
+	b := dag.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(1 + rng.Int63n(20))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(4) == 0 {
+				b.AddEdge(dag.NodeID(i), dag.NodeID(j), rng.Int63n(commScale))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestDSHProducesValidSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 25; trial++ {
+		g := randomGraph(rng, 2+rng.Intn(25), 80)
+		for _, p := range []int{1, 2, 4} {
+			d, err := DSH(g, p)
+			if err != nil {
+				t.Fatalf("trial %d p=%d: %v", trial, p, err)
+			}
+			if !d.Complete() {
+				t.Fatalf("trial %d: incomplete", trial)
+			}
+			if err := d.Validate(); err != nil {
+				t.Fatalf("trial %d p=%d: %v", trial, p, err)
+			}
+			if d.NSL() < 1.0-1e-9 {
+				t.Fatalf("trial %d: NSL %v < 1", trial, d.NSL())
+			}
+		}
+	}
+}
+
+func TestDSHErrors(t *testing.T) {
+	if _, err := DSH(nil, 2); err == nil {
+		t.Error("accepted nil graph")
+	}
+	g := dag.NewBuilder().MustBuild()
+	if _, err := DSH(g, 0); err == nil {
+		t.Error("accepted zero processors")
+	}
+	if d, err := DSH(g, 2); err != nil || d.Length() != 0 {
+		t.Errorf("empty graph: %v", err)
+	}
+}
+
+// TestDSHDuplicatesHeavyFork: a fork with enormous edge costs is the
+// textbook duplication case — each child's processor should run its own
+// copy of the root instead of waiting for the message.
+func TestDSHDuplicatesHeavyFork(t *testing.T) {
+	b := dag.NewBuilder()
+	root := b.AddNode(2)
+	c1 := b.AddNode(5)
+	c2 := b.AddNode(5)
+	b.AddEdge(root, c1, 100)
+	b.AddEdge(root, c2, 100)
+	g := b.MustBuild()
+	d, err := DSH(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Without duplication the best is serial on one processor (12) or
+	// paying a 100-unit message (107+). With duplication: both
+	// processors run root then a child: length 7.
+	if d.Length() != 7 {
+		t.Errorf("DSH length = %d, want 7 (duplicated root)\n%s", d.Length(), d)
+	}
+	if len(d.Copies(root)) != 2 {
+		t.Errorf("root has %d copies, want 2", len(d.Copies(root)))
+	}
+}
+
+// TestDSHNeverWorseThanHLFETOnForks: on communication-dominated
+// fork-join graphs duplication can only help relative to HLFET.
+func TestDSHNeverWorseThanHLFETOnForks(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		b := dag.NewBuilder()
+		root := b.AddNode(1 + rng.Int63n(5))
+		sink := b.AddNode(1 + rng.Int63n(5))
+		k := 2 + rng.Intn(6)
+		for i := 0; i < k; i++ {
+			m := b.AddNode(1 + rng.Int63n(10))
+			b.AddEdge(root, m, 20+rng.Int63n(80))
+			b.AddEdge(m, sink, 20+rng.Int63n(80))
+		}
+		g := b.MustBuild()
+		d, err := DSH(g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := bnp.HLFET(g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Length() > h.Length() {
+			t.Errorf("trial %d: DSH %d worse than HLFET %d", trial, d.Length(), h.Length())
+		}
+	}
+}
+
+func TestDupScheduleSingleNode(t *testing.T) {
+	b := dag.NewBuilder()
+	b.AddNode(9)
+	g := b.MustBuild()
+	d, err := DSH(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Length() != 9 || d.ProcessorsUsed() != 1 {
+		t.Errorf("single node: length %d procs %d", d.Length(), d.ProcessorsUsed())
+	}
+}
+
+func TestDupScheduleAccessors(t *testing.T) {
+	b := dag.NewBuilder()
+	x := b.AddNode(3)
+	y := b.AddNode(2)
+	b.AddEdge(x, y, 50)
+	g := b.MustBuild()
+	d, err := DSH(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsScheduled(x) || !d.IsScheduled(y) {
+		t.Error("nodes not marked scheduled")
+	}
+	if d.Graph() != g || d.NumProcs() != 2 {
+		t.Error("accessors wrong")
+	}
+	arr, ok := d.Arrival(x, d.Copies(y)[0].Proc, 50)
+	if !ok || arr > d.Copies(y)[0].Start {
+		t.Errorf("arrival %d after consumer start %d", arr, d.Copies(y)[0].Start)
+	}
+}

@@ -1,0 +1,93 @@
+package unc
+
+import (
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/sched"
+)
+
+// EZ is Sarkar's Edge Zeroing algorithm (1989).
+//
+// Edges are examined in descending order of communication cost. For each
+// edge, the clusters of its endpoints are tentatively merged ("the edge
+// is zeroed"); the merge is kept if the estimated parallel time — the
+// length of the schedule obtained by placing each cluster on its own
+// processor with nodes in descending b-level order — does not increase.
+//
+// EZ is non-greedy (it does not minimize individual start times) and not
+// critical-path driven; the paper finds it and LC generally behind the
+// greedy BNP algorithms (section 6.1), at O(e·(e+v)) cost.
+func EZ(g *dag.Graph) (*sched.Schedule, error) {
+	if err := checkGraph(g); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return sched.New(g, 1), nil
+	}
+
+	type edge struct {
+		from, to dag.NodeID
+		weight   int64
+	}
+	edges := make([]edge, 0, g.NumEdges())
+	for v := 0; v < n; v++ {
+		for _, a := range g.Succs(dag.NodeID(v)) {
+			edges = append(edges, edge{dag.NodeID(v), a.To, a.Weight})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].weight != edges[j].weight {
+			return edges[i].weight > edges[j].weight
+		}
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+
+	order := blevelOrder(g)
+	assign := make([]int, n) // node -> cluster label
+	members := make([][]dag.NodeID, n)
+	for v := 0; v < n; v++ {
+		assign[v] = v
+		members[v] = []dag.NodeID{dag.NodeID(v)}
+	}
+	estimate := func() int64 {
+		return scheduleAssignment(g, order, assign, n).Length()
+	}
+	merge := func(dst, src int) {
+		for _, m := range members[src] {
+			assign[m] = dst
+		}
+		members[dst] = append(members[dst], members[src]...)
+		members[src] = nil
+	}
+
+	best := estimate()
+	for _, e := range edges {
+		cu, cv := assign[e.from], assign[e.to]
+		if cu == cv {
+			continue // already zeroed transitively
+		}
+		// Merge the smaller membership list into the larger.
+		if len(members[cu]) < len(members[cv]) {
+			cu, cv = cv, cu
+		}
+		moved := len(members[cv])
+		merge(cu, cv)
+		if l := estimate(); l <= best {
+			best = l // keep the merge
+			continue
+		}
+		// Roll back: the moved nodes are the tail of members[cu].
+		tail := members[cu][len(members[cu])-moved:]
+		for _, m := range tail {
+			assign[m] = cv
+		}
+		members[cv] = append(members[cv], tail...)
+		members[cu] = members[cu][:len(members[cu])-moved]
+	}
+	return scheduleAssignment(g, order, assign, n), nil
+}

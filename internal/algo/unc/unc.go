@@ -1,0 +1,79 @@
+// Package unc implements the five UNC (unbounded number of clusters)
+// scheduling algorithms benchmarked by Kwok & Ahmad (IPPS 1998): EZ, LC,
+// DSC, MD, and DCP. UNC algorithms assume as many fully connected
+// processors as needed and work by clustering: initially every node is
+// its own cluster, and clusters are merged when doing so promises a
+// shorter schedule (paper section 4).
+//
+// Every scheduler has the signature
+//
+//	func(g *dag.Graph) (*sched.Schedule, error)
+//
+// and returns a complete schedule on at most NumNodes processors, one
+// processor per final cluster. The number of processors actually used is
+// itself a benchmark measure (paper Figure 3a).
+package unc
+
+import (
+	"fmt"
+
+	"repro/internal/algo"
+	"repro/internal/dag"
+	"repro/internal/sched"
+)
+
+// Scheduler is the common signature of all UNC algorithms.
+type Scheduler func(g *dag.Graph) (*sched.Schedule, error)
+
+// Algorithms returns the five UNC algorithms by name.
+func Algorithms() map[string]Scheduler {
+	return map[string]Scheduler{
+		"EZ":  EZ,
+		"LC":  LC,
+		"DSC": DSC,
+		"MD":  MD,
+		"DCP": DCP,
+	}
+}
+
+func checkGraph(g *dag.Graph) error {
+	if g == nil {
+		return fmt.Errorf("unc: nil graph")
+	}
+	return nil
+}
+
+// blevelOrder returns the nodes in descending b-level order, enforced to
+// be topological via a priority-driven Kahn pass (for positive node
+// weights descending b-level is already topological; zero-weight nodes
+// need the guard). This is the standard intra-cluster ordering used when
+// converting a clustering into a schedule.
+func blevelOrder(g *dag.Graph) []dag.NodeID {
+	bl := dag.BLevels(g)
+	ready := algo.NewReadySet(g)
+	order := make([]dag.NodeID, 0, g.NumNodes())
+	for !ready.Empty() {
+		n := algo.MaxBy(ready.Ready(), func(n dag.NodeID) int64 { return bl[n] })
+		ready.Pop(n)
+		ready.MarkScheduled(g, n)
+		order = append(order, n)
+	}
+	return order
+}
+
+// scheduleAssignment converts a node-to-cluster assignment into a
+// concrete schedule: nodes are placed in the given order (which must be
+// topological), each at its earliest start time on its assigned
+// processor without insertion. This is the cluster-ordering step shared
+// by EZ and LC.
+func scheduleAssignment(g *dag.Graph, order []dag.NodeID, assign []int, numProcs int) *sched.Schedule {
+	s := sched.New(g, numProcs)
+	for _, n := range order {
+		est, ok := s.ESTOn(n, assign[n], false)
+		if !ok {
+			panic("unc: assignment order is not topological")
+		}
+		s.MustPlace(n, assign[n], est)
+	}
+	return s
+}

@@ -1,0 +1,158 @@
+// Package core is the evaluation engine of the reproduction: the
+// registry of all 15 scheduling algorithms with their classes, the
+// measures of paper section 6 (schedule length, NSL, percentage
+// degradation from optimal, processors used, running time), and the
+// experiment runners that regenerate every table and figure of the
+// evaluation.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/algo/apn"
+	"repro/internal/algo/bnp"
+	"repro/internal/algo/unc"
+	"repro/internal/dag"
+	"repro/internal/machine"
+)
+
+// Class identifies an algorithm family from the paper's taxonomy.
+type Class string
+
+// The three algorithm classes compared by the paper (section 4).
+const (
+	BNP Class = "BNP" // bounded number of processors, clique
+	UNC Class = "UNC" // unbounded number of clusters, clique
+	APN Class = "APN" // arbitrary processor network with link contention
+)
+
+// Algorithm is one registered scheduler.
+type Algorithm struct {
+	Name  string
+	Class Class
+
+	runBNP bnp.Scheduler
+	runUNC unc.Scheduler
+	runAPN apn.Scheduler
+}
+
+// Result is one measured scheduling run.
+type Result struct {
+	Algorithm string
+	Class     Class
+	Length    int64
+	NSL       float64
+	Procs     int // processors actually used
+	Elapsed   time.Duration
+}
+
+// Run schedules g with the algorithm and measures the run. BNP
+// algorithms receive bnpProcs processors; APN algorithms receive the
+// topology; UNC algorithms need no machine argument.
+func (a Algorithm) Run(g *dag.Graph, bnpProcs int, topo *machine.Topology) (Result, error) {
+	start := time.Now()
+	var (
+		length int64
+		nsl    float64
+		procs  int
+	)
+	switch a.Class {
+	case BNP:
+		s, err := a.runBNP(g, bnpProcs)
+		if err != nil {
+			return Result{}, err
+		}
+		length, nsl, procs = s.Length(), s.NSL(), s.ProcessorsUsed()
+	case UNC:
+		s, err := a.runUNC(g)
+		if err != nil {
+			return Result{}, err
+		}
+		length, nsl, procs = s.Length(), s.NSL(), s.ProcessorsUsed()
+	case APN:
+		if topo == nil {
+			return Result{}, fmt.Errorf("core: APN algorithm %s needs a topology", a.Name)
+		}
+		s, err := a.runAPN(g, topo)
+		if err != nil {
+			return Result{}, err
+		}
+		length, nsl, procs = s.Length(), s.NSL(), s.ProcessorsUsed()
+	default:
+		return Result{}, fmt.Errorf("core: unknown class %q", a.Class)
+	}
+	return Result{
+		Algorithm: a.Name,
+		Class:     a.Class,
+		Length:    length,
+		NSL:       nsl,
+		Procs:     procs,
+		Elapsed:   time.Since(start),
+	}, nil
+}
+
+// All returns the 15 algorithms of the study in the paper's order:
+// the 6 BNP, then the 5 UNC, then the 4 APN algorithms. (DLS appears in
+// both the BNP and APN classes, as in the paper.)
+func All() []Algorithm {
+	out := make([]Algorithm, 0, 15)
+	out = append(out, ByClass(BNP)...)
+	out = append(out, ByClass(UNC)...)
+	out = append(out, ByClass(APN)...)
+	return out
+}
+
+// ByClass returns the algorithms of one class in canonical order.
+func ByClass(c Class) []Algorithm {
+	switch c {
+	case BNP:
+		return []Algorithm{
+			{Name: "HLFET", Class: BNP, runBNP: bnp.HLFET},
+			{Name: "ISH", Class: BNP, runBNP: bnp.ISH},
+			{Name: "ETF", Class: BNP, runBNP: bnp.ETF},
+			{Name: "LAST", Class: BNP, runBNP: bnp.LAST},
+			{Name: "MCP", Class: BNP, runBNP: bnp.MCP},
+			{Name: "DLS", Class: BNP, runBNP: bnp.DLS},
+		}
+	case UNC:
+		return []Algorithm{
+			{Name: "EZ", Class: UNC, runUNC: unc.EZ},
+			{Name: "LC", Class: UNC, runUNC: unc.LC},
+			{Name: "DSC", Class: UNC, runUNC: unc.DSC},
+			{Name: "MD", Class: UNC, runUNC: unc.MD},
+			{Name: "DCP", Class: UNC, runUNC: unc.DCP},
+		}
+	case APN:
+		return []Algorithm{
+			{Name: "MH", Class: APN, runAPN: apn.MH},
+			{Name: "DLS", Class: APN, runAPN: apn.DLS},
+			{Name: "BU", Class: APN, runAPN: apn.BU},
+			{Name: "BSA", Class: APN, runAPN: apn.BSA},
+		}
+	}
+	return nil
+}
+
+// Names returns the algorithm names of a class in canonical order.
+func Names(c Class) []string {
+	algs := ByClass(c)
+	names := make([]string, len(algs))
+	for i, a := range algs {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// BNPProcs returns the processor count used when running BNP algorithms
+// on a graph of v nodes: the paper tested BNP algorithms "with a very
+// large number (virtually unlimited number) of processors" and then
+// recorded how many were used (section 6.4.2). 32 processors is
+// effectively unlimited for the benchmark workloads while keeping the
+// O(v^2 p) algorithms (ETF, DLS) tractable.
+func BNPProcs(v int) int {
+	if v < 32 {
+		return v
+	}
+	return 32
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/machine"
+)
+
+func smallGraph() *dag.Graph {
+	rng := rand.New(rand.NewSource(4))
+	b := dag.NewBuilder()
+	for i := 0; i < 12; i++ {
+		b.AddNode(1 + rng.Int63n(20))
+	}
+	for i := 0; i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			if rng.Intn(3) == 0 {
+				b.AddEdge(dag.NodeID(i), dag.NodeID(j), rng.Int63n(30))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestRegistryShape(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Fatalf("registry has %d algorithms, want 15", len(all))
+	}
+	counts := map[Class]int{}
+	for _, a := range all {
+		counts[a.Class]++
+	}
+	if counts[BNP] != 6 || counts[UNC] != 5 || counts[APN] != 4 {
+		t.Errorf("class counts = %v, want BNP:6 UNC:5 APN:4", counts)
+	}
+	if got := Names(UNC); got[4] != "DCP" {
+		t.Errorf("UNC names = %v, want DCP last", got)
+	}
+}
+
+func TestRunAllClasses(t *testing.T) {
+	g := smallGraph()
+	topo := machine.Hypercube(3)
+	for _, a := range All() {
+		res, err := a.Run(g, 4, topo)
+		if err != nil {
+			t.Fatalf("%s(%s): %v", a.Name, a.Class, err)
+		}
+		if res.Length <= 0 {
+			t.Errorf("%s: non-positive length %d", a.Name, res.Length)
+		}
+		if res.NSL < 1.0-1e-9 {
+			t.Errorf("%s: NSL %v < 1", a.Name, res.NSL)
+		}
+		if res.Procs < 1 {
+			t.Errorf("%s: no processors used", a.Name)
+		}
+		if res.Algorithm != a.Name || res.Class != a.Class {
+			t.Errorf("%s: result labels wrong: %+v", a.Name, res)
+		}
+	}
+}
+
+func TestAPNNeedsTopology(t *testing.T) {
+	g := smallGraph()
+	for _, a := range ByClass(APN) {
+		if _, err := a.Run(g, 4, nil); err == nil {
+			t.Errorf("%s ran without a topology", a.Name)
+		}
+	}
+}
+
+func TestBNPProcs(t *testing.T) {
+	if BNPProcs(10) != 10 {
+		t.Errorf("BNPProcs(10) = %d", BNPProcs(10))
+	}
+	if BNPProcs(500) != 32 {
+		t.Errorf("BNPProcs(500) = %d", BNPProcs(500))
+	}
+}
+
+func TestExperimentsRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 11 {
+		t.Fatalf("%d experiments, want 11 (6 tables + 3 figures + 2 extensions)", len(exps))
+	}
+	want := []string{"table1", "table2", "table3", "table4", "table5", "table6", "fig2", "fig3", "fig4", "unccs", "tdb"}
+	for i, e := range exps {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	var sink strings.Builder
+	if err := RunExperiment("nope", Config{Out: &sink}); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}
+
+func TestTable1Runs(t *testing.T) {
+	var out strings.Builder
+	if err := Table1(Config{Seed: 1, Scale: Quick, Out: &out}); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"kwok-ahmad-9", "DCP", "MCP", "HLFET"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table1 output missing %q", want)
+		}
+	}
+}
+
+func TestTable4Runs(t *testing.T) {
+	var out strings.Builder
+	if err := Table4(Config{Seed: 1, Scale: Quick, Out: &out}); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"avg degradation", "no. of optimal", "v="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table4 output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigure4Runs(t *testing.T) {
+	var out strings.Builder
+	if err := Figure4(Config{Seed: 1, Scale: Quick, Out: &out}); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"(a)", "(b)", "(c)", "Cholesky"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("figure4 output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,461 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/gen"
+	"repro/internal/machine"
+	"repro/internal/optimal"
+	"repro/internal/table"
+)
+
+// Scale selects how much of each paper workload an experiment runs.
+type Scale int
+
+// Quick runs reduced instance counts sized for CI and benchmarks; Full
+// reproduces the paper's instance counts (minutes of CPU).
+const (
+	Quick Scale = iota
+	Full
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	Seed  int64
+	Scale Scale
+	Out   io.Writer
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) error
+}
+
+// Experiments returns every table and figure of the paper's evaluation
+// section, in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1: schedule lengths of the UNC and BNP algorithms on the PSGs", Table1},
+		{"table2", "Table 2: % degradation from optimal on RGBOS (UNC algorithms)", Table2},
+		{"table3", "Table 3: % degradation from optimal on RGBOS (BNP algorithms)", Table3},
+		{"table4", "Table 4: % degradation from optimal on RGPOS (UNC algorithms)", Table4},
+		{"table5", "Table 5: % degradation from optimal on RGPOS (BNP algorithms)", Table5},
+		{"table6", "Table 6: average running times on RGNOS (all 15 algorithms)", Table6},
+		{"fig2", "Figure 2: average NSL vs graph size on RGNOS (UNC, BNP, APN)", Figure2},
+		{"fig3", "Figure 3: average processors used vs graph size on RGNOS (UNC, BNP)", Figure3},
+		{"fig4", "Figure 4: average NSL on Cholesky traced graphs (UNC, BNP, APN)", Figure4},
+		{"unccs", "Extension (paper section 7): BNP vs UNC + cluster scheduling", UNCCS},
+		{"tdb", "Extension (paper section 4): task duplication (DSH) vs non-duplication", TDB},
+	}
+}
+
+// RunExperiment runs one experiment by ID.
+func RunExperiment(id string, cfg Config) error {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			fmt.Fprintf(cfg.Out, "== %s ==\n", e.Title)
+			return e.Run(cfg)
+		}
+	}
+	return fmt.Errorf("core: unknown experiment %q", id)
+}
+
+// apnTopology is the network used by all APN experiments: an
+// 8-processor hypercube ("a 500-node task graph is scheduled to 8
+// processors", paper section 6.4).
+func apnTopology() *machine.Topology { return machine.Hypercube(3) }
+
+// rgnosSizes returns the RGNOS graph sizes for a scale.
+func rgnosSizes(s Scale) []int {
+	if s == Full {
+		return []int{50, 100, 150, 200, 250, 300, 350, 400, 450, 500}
+	}
+	return []int{50, 100, 150}
+}
+
+func rgnosCCRs(s Scale) []float64 {
+	if s == Full {
+		return gen.RGNOSCCRs
+	}
+	return []float64{0.1, 1.0, 10.0}
+}
+
+func rgnosParallelism(s Scale) []int {
+	if s == Full {
+		return []int{1, 2, 3, 4, 5}
+	}
+	return []int{1, 3, 5}
+}
+
+// rgbosMaxNodes bounds the RGBOS sizes so the branch-and-bound closes:
+// the paper's full range reaches 32 nodes.
+func rgbosMaxNodes(s Scale) int {
+	if s == Full {
+		return 32
+	}
+	return 18
+}
+
+func rgposSizes(s Scale) (min, max, step int) {
+	if s == Full {
+		return 50, 500, 50
+	}
+	return 50, 150, 50
+}
+
+func choleskyDims(s Scale) []int {
+	if s == Full {
+		return []int{8, 16, 24, 32, 40}
+	}
+	return []int{6, 10, 14}
+}
+
+// Table1 reports the schedule length of every UNC and BNP algorithm on
+// each peer set graph. APN algorithms are excluded, as in the paper
+// ("many network topologies are possible as test cases", section 6.1).
+func Table1(cfg Config) error {
+	algs := append(ByClass(UNC), ByClass(BNP)...)
+	cols := []string{"graph", "v", "CCR"}
+	for _, a := range algs {
+		cols = append(cols, a.Name)
+	}
+	t := table.New("Schedule lengths on the Peer Set Graphs", cols...)
+	for _, ng := range gen.PeerSet() {
+		row := []string{ng.Name, fmt.Sprint(ng.G.NumNodes()), fmt.Sprintf("%.2f", ng.G.CCR())}
+		for _, a := range algs {
+			res, err := a.Run(ng.G, BNPProcs(ng.G.NumNodes()), nil)
+			if err != nil {
+				return fmt.Errorf("table1: %s on %s: %w", a.Name, ng.Name, err)
+			}
+			row = append(row, fmt.Sprint(res.Length))
+		}
+		t.AddRow(row...)
+	}
+	return t.Render(cfg.Out)
+}
+
+// degradationTable is the shared body of Tables 2-5: percentage
+// degradation of each algorithm from the per-instance optimum, one row
+// per graph, grouped by CCR, with per-CCR "number optimal" and "average
+// degradation" summary rows.
+type degradationInstance struct {
+	label   string
+	g       *dag.Graph
+	optimal int64
+	closed  bool
+}
+
+func degradationTable(cfg Config, title string, algs []Algorithm, bnpProcsFor func(*dag.Graph) int,
+	suites map[float64][]degradationInstance, ccrs []float64) error {
+
+	cols := []string{"CCR", "graph", "optimal"}
+	for _, a := range algs {
+		cols = append(cols, a.Name)
+	}
+	t := table.New(title, cols...)
+	for _, ccr := range ccrs {
+		numOpt := make([]int, len(algs))
+		sumDeg := make([]float64, len(algs))
+		counted := 0
+		for _, inst := range suites[ccr] {
+			optLabel := fmt.Sprint(inst.optimal)
+			if !inst.closed {
+				optLabel += "*" // best known, not proven
+			}
+			row := []string{fmt.Sprintf("%g", ccr), inst.label, optLabel}
+			if inst.closed {
+				counted++
+			}
+			for i, a := range algs {
+				res, err := a.Run(inst.g, bnpProcsFor(inst.g), nil)
+				if err != nil {
+					return fmt.Errorf("%s on %s: %w", a.Name, inst.label, err)
+				}
+				deg := 100 * float64(res.Length-inst.optimal) / float64(inst.optimal)
+				row = append(row, fmt.Sprintf("%.1f", deg))
+				if inst.closed {
+					if res.Length == inst.optimal {
+						numOpt[i]++
+					}
+					sumDeg[i] += deg
+				}
+			}
+			t.AddRow(row...)
+		}
+		// Summary rows for this CCR (closed instances only).
+		optRow := []string{fmt.Sprintf("%g", ccr), "no. of optimal", fmt.Sprint(counted)}
+		avgRow := []string{fmt.Sprintf("%g", ccr), "avg degradation", ""}
+		for i := range algs {
+			optRow = append(optRow, fmt.Sprint(numOpt[i]))
+			if counted > 0 {
+				avgRow = append(avgRow, fmt.Sprintf("%.1f", sumDeg[i]/float64(counted)))
+			} else {
+				avgRow = append(avgRow, "-")
+			}
+		}
+		t.AddRow(optRow...)
+		t.AddRow(avgRow...)
+		t.AddSeparator()
+	}
+	return t.Render(cfg.Out)
+}
+
+// rgbosInstances generates the RGBOS suite and attaches branch-and-bound
+// optima (the role the paper's parallel A* played).
+func rgbosInstances(cfg Config) (map[float64][]degradationInstance, error) {
+	out := map[float64][]degradationInstance{}
+	for _, ccr := range gen.PaperCCRs {
+		rc := gen.DefaultRGBOSConfig(ccr, cfg.Seed)
+		rc.MaxNodes = rgbosMaxNodes(cfg.Scale)
+		for _, ng := range gen.RGBOS(rc) {
+			res, err := optimal.Schedule(ng.G, ng.G.NumNodes(), optimal.Options{})
+			if err != nil {
+				return nil, err
+			}
+			out[ccr] = append(out[ccr], degradationInstance{
+				label:   fmt.Sprintf("v=%d", ng.G.NumNodes()),
+				g:       ng.G,
+				optimal: res.Length,
+				closed:  res.Closed,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Table2 compares the UNC algorithms against branch-and-bound optima on
+// the RGBOS suite.
+func Table2(cfg Config) error {
+	suites, err := rgbosInstances(cfg)
+	if err != nil {
+		return err
+	}
+	return degradationTable(cfg, "% degradation from optimal, RGBOS (UNC algorithms)",
+		ByClass(UNC), func(g *dag.Graph) int { return BNPProcs(g.NumNodes()) },
+		suites, gen.PaperCCRs)
+}
+
+// Table3 compares the BNP algorithms against the same optima.
+func Table3(cfg Config) error {
+	suites, err := rgbosInstances(cfg)
+	if err != nil {
+		return err
+	}
+	return degradationTable(cfg, "% degradation from optimal, RGBOS (BNP algorithms)",
+		ByClass(BNP), func(g *dag.Graph) int { return BNPProcs(g.NumNodes()) },
+		suites, gen.PaperCCRs)
+}
+
+// rgposInstances generates the RGPOS suite; optima are by construction.
+func rgposInstances(cfg Config) map[float64][]degradationInstance {
+	out := map[float64][]degradationInstance{}
+	lo, hi, step := rgposSizes(cfg.Scale)
+	for _, ccr := range gen.PaperCCRs {
+		rc := gen.DefaultRGPOSConfig(ccr, cfg.Seed)
+		rc.MinNodes, rc.MaxNodes, rc.Step = lo, hi, step
+		for _, inst := range gen.RGPOS(rc) {
+			out[ccr] = append(out[ccr], degradationInstance{
+				label:   fmt.Sprintf("v=%d", inst.G.NumNodes()),
+				g:       inst.G,
+				optimal: inst.OptimalLength,
+				closed:  true,
+			})
+		}
+	}
+	return out
+}
+
+// Table4 compares the UNC algorithms against the pre-determined optima
+// of the RGPOS suite.
+func Table4(cfg Config) error {
+	return degradationTable(cfg, "% degradation from optimal, RGPOS (UNC algorithms)",
+		ByClass(UNC), func(g *dag.Graph) int { return BNPProcs(g.NumNodes()) },
+		rgposInstances(cfg), gen.PaperCCRs)
+}
+
+// Table5 compares the BNP algorithms on RGPOS. The BNP processor count
+// matches the 8 processors the optimal schedules were constructed for,
+// so the optimum is a true lower bound.
+func Table5(cfg Config) error {
+	return degradationTable(cfg, "% degradation from optimal, RGPOS (BNP algorithms)",
+		ByClass(BNP), func(*dag.Graph) int { return 8 },
+		rgposInstances(cfg), gen.PaperCCRs)
+}
+
+// rgnosSuite generates the RGNOS graphs grouped by size.
+func rgnosSuite(cfg Config) map[int][]gen.NamedGraph {
+	rc := gen.RGNOSConfig{
+		MinNodes:    50,
+		MaxNodes:    500,
+		Step:        50,
+		CCRs:        rgnosCCRs(cfg.Scale),
+		Parallelism: rgnosParallelism(cfg.Scale),
+		Seed:        cfg.Seed,
+	}
+	sizes := rgnosSizes(cfg.Scale)
+	rc.MaxNodes = sizes[len(sizes)-1]
+	bySize := map[int][]gen.NamedGraph{}
+	for _, ng := range gen.RGNOS(rc) {
+		bySize[ng.G.NumNodes()] = append(bySize[ng.G.NumNodes()], ng)
+	}
+	return bySize
+}
+
+// Table6 reports average scheduling running times (seconds) per graph
+// size for all 15 algorithms, as the paper does for its RGNOS suite.
+func Table6(cfg Config) error {
+	bySize := rgnosSuite(cfg)
+	sizes := rgnosSizes(cfg.Scale)
+	algs := All()
+	cols := []string{"v"}
+	for _, a := range algs {
+		cols = append(cols, fmt.Sprintf("%s(%s)", a.Name, a.Class))
+	}
+	t := table.New("Average running times (seconds) on RGNOS", cols...)
+	topo := apnTopology()
+	for _, v := range sizes {
+		row := []string{fmt.Sprint(v)}
+		for _, a := range algs {
+			var total time.Duration
+			for _, ng := range bySize[v] {
+				res, err := a.Run(ng.G, BNPProcs(v), topo)
+				if err != nil {
+					return fmt.Errorf("table6: %s on %s: %w", a.Name, ng.Name, err)
+				}
+				total += res.Elapsed
+			}
+			avg := total / time.Duration(len(bySize[v]))
+			row = append(row, fmt.Sprintf("%.4f", avg.Seconds()))
+		}
+		t.AddRow(row...)
+	}
+	return t.Render(cfg.Out)
+}
+
+// classNSLSeries renders one sub-figure: average NSL per graph size for
+// the algorithms of one class.
+func classNSLSeries(cfg Config, sub string, class Class, bySize map[int][]gen.NamedGraph, sizes []int) error {
+	algs := ByClass(class)
+	xs := make([]string, len(sizes))
+	for i, v := range sizes {
+		xs[i] = fmt.Sprint(v)
+	}
+	s := table.NewSeries(fmt.Sprintf("(%s) average NSL, %s algorithms", sub, class), "v", xs...)
+	topo := apnTopology()
+	for i, v := range sizes {
+		for _, a := range algs {
+			var total float64
+			for _, ng := range bySize[v] {
+				res, err := a.Run(ng.G, BNPProcs(v), topo)
+				if err != nil {
+					return fmt.Errorf("fig: %s on %s: %w", a.Name, ng.Name, err)
+				}
+				total += res.NSL
+			}
+			s.Set(a.Name, i, total/float64(len(bySize[v])))
+		}
+	}
+	return s.Render(cfg.Out)
+}
+
+// Figure2 reproduces the average-NSL-vs-size curves for the UNC (a),
+// BNP (b) and APN (c) classes on the RGNOS suite.
+func Figure2(cfg Config) error {
+	bySize := rgnosSuite(cfg)
+	sizes := rgnosSizes(cfg.Scale)
+	for _, part := range []struct {
+		sub   string
+		class Class
+	}{{"a", UNC}, {"b", BNP}, {"c", APN}} {
+		if err := classNSLSeries(cfg, part.sub, part.class, bySize, sizes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Figure3 reproduces the average-processors-used curves for the UNC (a)
+// and BNP (b) classes on the RGNOS suite.
+func Figure3(cfg Config) error {
+	bySize := rgnosSuite(cfg)
+	sizes := rgnosSizes(cfg.Scale)
+	xs := make([]string, len(sizes))
+	for i, v := range sizes {
+		xs[i] = fmt.Sprint(v)
+	}
+	for _, part := range []struct {
+		sub   string
+		class Class
+	}{{"a", UNC}, {"b", BNP}} {
+		s := table.NewSeries(fmt.Sprintf("(%s) average processors used, %s algorithms", part.sub, part.class), "v", xs...)
+		for i, v := range sizes {
+			for _, a := range ByClass(part.class) {
+				var total int
+				for _, ng := range bySize[v] {
+					res, err := a.Run(ng.G, BNPProcs(v), nil)
+					if err != nil {
+						return fmt.Errorf("fig3: %s on %s: %w", a.Name, ng.Name, err)
+					}
+					total += res.Procs
+				}
+				s.Set(a.Name, i, float64(total)/float64(len(bySize[v])))
+			}
+		}
+		if err := s.Render(cfg.Out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Figure4 reproduces the average-NSL curves on the Cholesky traced
+// graphs for the UNC (a), BNP (b) and APN (c) classes.
+func Figure4(cfg Config) error {
+	dims := choleskyDims(cfg.Scale)
+	xs := make([]string, len(dims))
+	graphs := make([]*dag.Graph, len(dims))
+	for i, n := range dims {
+		g, err := gen.Cholesky(n, 1.0)
+		if err != nil {
+			return err
+		}
+		graphs[i] = g
+		xs[i] = fmt.Sprint(n)
+	}
+	topo := apnTopology()
+	for _, part := range []struct {
+		sub   string
+		class Class
+	}{{"a", UNC}, {"b", BNP}, {"c", APN}} {
+		s := table.NewSeries(fmt.Sprintf("(%s) average NSL on Cholesky graphs, %s algorithms", part.sub, part.class), "N", xs...)
+		for i, g := range graphs {
+			for _, a := range ByClass(part.class) {
+				res, err := a.Run(g, BNPProcs(g.NumNodes()), topo)
+				if err != nil {
+					return fmt.Errorf("fig4: %s on cholesky-%s: %w", a.Name, xs[i], err)
+				}
+				s.Set(a.Name, i, res.NSL)
+			}
+		}
+		if err := s.Render(cfg.Out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortedSizes is a small helper for deterministic map iteration in tests.
+func sortedSizes(m map[int][]gen.NamedGraph) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

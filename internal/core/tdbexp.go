@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/algo/bnp"
+	"repro/internal/algo/tdb"
+	"repro/internal/dag"
+	"repro/internal/gen"
+	"repro/internal/table"
+)
+
+// TDB runs the duplication extension study: the paper's taxonomy
+// (section 4) explains that TDB algorithms "reduce the communication
+// overhead by redundantly allocating some nodes to multiple processors"
+// but leaves them out of the 15-algorithm comparison. This experiment
+// quantifies the claim by pitting DSH (duplication) against its
+// non-duplicating base HLFET and the best BNP algorithm MCP across the
+// CCR range on out-tree-rich workloads, where duplication matters most.
+func TDB(cfg Config) error {
+	t := table.New("Task duplication (DSH) vs non-duplication (HLFET, MCP): average NSL on 8 processors",
+		"CCR", "workload", "HLFET", "MCP", "DSH", "dup copies")
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	reps := 3
+	if cfg.Scale == Full {
+		reps = 10
+	}
+	for _, ccr := range []float64{0.1, 1.0, 10.0} {
+		workloads := map[string]func() *dag.Graph{
+			"out-tree": func() *dag.Graph {
+				g, err := gen.OutTree(rng, 4, 3, ccr)
+				if err != nil {
+					panic(err)
+				}
+				return g
+			},
+			"fork-join": func() *dag.Graph {
+				g, err := gen.ForkJoin(rng, 3, 6, ccr)
+				if err != nil {
+					panic(err)
+				}
+				return g
+			},
+		}
+		for _, name := range []string{"out-tree", "fork-join"} {
+			makeGraph := workloads[name]
+			var hl, mcp, dsh float64
+			copies := 0
+			for r := 0; r < reps; r++ {
+				g := makeGraph()
+				h, err := bnp.HLFET(g, 8)
+				if err != nil {
+					return fmt.Errorf("tdb: %w", err)
+				}
+				m, err := bnp.MCP(g, 8)
+				if err != nil {
+					return fmt.Errorf("tdb: %w", err)
+				}
+				d, err := tdb.DSH(g, 8)
+				if err != nil {
+					return fmt.Errorf("tdb: %w", err)
+				}
+				hl += h.NSL()
+				mcp += m.NSL()
+				dsh += d.NSL()
+				for v := 0; v < g.NumNodes(); v++ {
+					copies += len(d.Copies(dag.NodeID(v))) - 1
+				}
+			}
+			t.AddRow(fmt.Sprintf("%g", ccr), name,
+				fmt.Sprintf("%.3f", hl/float64(reps)),
+				fmt.Sprintf("%.3f", mcp/float64(reps)),
+				fmt.Sprintf("%.3f", dsh/float64(reps)),
+				fmt.Sprint(copies/reps))
+		}
+	}
+	return t.Render(cfg.Out)
+}

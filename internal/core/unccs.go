@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/algo/cs"
+	"repro/internal/algo/unc"
+	"repro/internal/table"
+)
+
+// UNCCS runs the study that paper section 7 poses as future work:
+// comparing the BNP approach against UNC clustering followed by cluster
+// scheduling (CS) onto the same bounded processor count. Each RGNOS
+// graph is scheduled by every BNP algorithm on p processors and by
+// every UNC algorithm followed by Sarkar's assignment algorithm and
+// Yang's RCP, also onto p processors; the table reports average NSL per
+// pipeline.
+func UNCCS(cfg Config) error {
+	const procs = 8
+	bySize := rgnosSuite(cfg)
+	sizes := rgnosSizes(cfg.Scale)
+
+	pipelines := []string{}
+	for _, a := range ByClass(BNP) {
+		pipelines = append(pipelines, a.Name)
+	}
+	for _, u := range Names(UNC) {
+		pipelines = append(pipelines, u+"+SARKAR", u+"+RCP")
+	}
+	cols := append([]string{"v"}, pipelines...)
+	t := table.New(fmt.Sprintf("BNP vs UNC+CS on %d processors: average NSL", procs), cols...)
+
+	uncAlgos := unc.Algorithms()
+	mappers := cs.Mappers()
+	for _, v := range sizes {
+		row := []string{fmt.Sprint(v)}
+		for _, a := range ByClass(BNP) {
+			var total float64
+			for _, ng := range bySize[v] {
+				res, err := a.Run(ng.G, procs, nil)
+				if err != nil {
+					return fmt.Errorf("unccs: %s on %s: %w", a.Name, ng.Name, err)
+				}
+				total += res.NSL
+			}
+			row = append(row, fmt.Sprintf("%.3f", total/float64(len(bySize[v]))))
+		}
+		for _, u := range Names(UNC) {
+			for _, m := range []string{"SARKAR", "RCP"} {
+				var total float64
+				for _, ng := range bySize[v] {
+					clustering, err := uncAlgos[u](ng.G)
+					if err != nil {
+						return fmt.Errorf("unccs: %s on %s: %w", u, ng.Name, err)
+					}
+					mapped, err := mappers[m](clustering, procs)
+					if err != nil {
+						return fmt.Errorf("unccs: %s+%s on %s: %w", u, m, ng.Name, err)
+					}
+					total += mapped.NSL()
+				}
+				row = append(row, fmt.Sprintf("%.3f", total/float64(len(bySize[v]))))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.Render(cfg.Out)
+}

@@ -1,0 +1,340 @@
+// Package dag implements the weighted directed acyclic task-graph model
+// used throughout the repository: the "macro-dataflow graph" of Kwok and
+// Ahmad, "Benchmarking the Task Graph Scheduling Algorithms" (IPPS 1998),
+// section 2.
+//
+// A node represents a task with a computation cost; a directed edge
+// represents a precedence constraint with a communication cost that is
+// incurred only when the two incident tasks execute on different
+// processors. Graphs are built with a Builder and are immutable after
+// Build, which lets every scheduling algorithm share one graph safely
+// across goroutines.
+//
+// All costs and times are int64. Integer arithmetic keeps schedule
+// validation exact; fractional measures such as NSL and CCR are derived
+// at the metrics layer.
+package dag
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a node within one Graph. IDs are dense: a graph with
+// n nodes uses IDs 0..n-1 in insertion order.
+type NodeID int32
+
+// None is the sentinel NodeID used where "no node" must be representable.
+const None NodeID = -1
+
+// Arc is one directed adjacency entry. In a successor list, To is the
+// child and Weight the communication cost of the edge to it; in a
+// predecessor list, To is the parent.
+type Arc struct {
+	To     NodeID
+	Weight int64
+}
+
+// Graph is an immutable weighted DAG. The zero value is an empty graph;
+// use a Builder to construct a non-empty one.
+type Graph struct {
+	weight   []int64
+	label    []string
+	succs    [][]Arc
+	preds    [][]Arc
+	topo     []NodeID
+	numEdges int
+}
+
+// NumNodes returns the number of tasks in the graph.
+func (g *Graph) NumNodes() int { return len(g.weight) }
+
+// NumEdges returns the number of precedence edges in the graph.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// Weight returns the computation cost of node n.
+func (g *Graph) Weight(n NodeID) int64 { return g.weight[n] }
+
+// Label returns the optional human-readable label of node n ("" if unset).
+func (g *Graph) Label(n NodeID) string { return g.label[n] }
+
+// Succs returns the successor arcs of n. The returned slice is shared
+// with the graph and must not be modified.
+func (g *Graph) Succs(n NodeID) []Arc { return g.succs[n] }
+
+// Preds returns the predecessor arcs of n. The returned slice is shared
+// with the graph and must not be modified.
+func (g *Graph) Preds(n NodeID) []Arc { return g.preds[n] }
+
+// OutDegree returns the number of children of n.
+func (g *Graph) OutDegree(n NodeID) int { return len(g.succs[n]) }
+
+// InDegree returns the number of parents of n.
+func (g *Graph) InDegree(n NodeID) int { return len(g.preds[n]) }
+
+// EdgeWeight returns the communication cost of edge (u,v) and whether the
+// edge exists.
+func (g *Graph) EdgeWeight(u, v NodeID) (int64, bool) {
+	for _, a := range g.succs[u] {
+		if a.To == v {
+			return a.Weight, true
+		}
+	}
+	return 0, false
+}
+
+// HasEdge reports whether the edge (u,v) exists.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	_, ok := g.EdgeWeight(u, v)
+	return ok
+}
+
+// TopoOrder returns a topological order of the nodes. The returned slice
+// is a copy and may be modified by the caller.
+func (g *Graph) TopoOrder() []NodeID {
+	out := make([]NodeID, len(g.topo))
+	copy(out, g.topo)
+	return out
+}
+
+// topoOrder returns the cached topological order without copying. For
+// package-internal use where the caller promises not to mutate it.
+func (g *Graph) topoOrder() []NodeID { return g.topo }
+
+// Entries returns the nodes with no predecessors, in ID order.
+func (g *Graph) Entries() []NodeID {
+	var out []NodeID
+	for n := range g.preds {
+		if len(g.preds[n]) == 0 {
+			out = append(out, NodeID(n))
+		}
+	}
+	return out
+}
+
+// Exits returns the nodes with no successors, in ID order.
+func (g *Graph) Exits() []NodeID {
+	var out []NodeID
+	for n := range g.succs {
+		if len(g.succs[n]) == 0 {
+			out = append(out, NodeID(n))
+		}
+	}
+	return out
+}
+
+// TotalComputation returns the sum of all node computation costs.
+func (g *Graph) TotalComputation() int64 {
+	var sum int64
+	for _, w := range g.weight {
+		sum += w
+	}
+	return sum
+}
+
+// TotalCommunication returns the sum of all edge communication costs.
+func (g *Graph) TotalCommunication() int64 {
+	var sum int64
+	for n := range g.succs {
+		for _, a := range g.succs[n] {
+			sum += a.Weight
+		}
+	}
+	return sum
+}
+
+// CCR returns the communication-to-computation ratio of the graph: the
+// average edge cost divided by the average node cost (paper section 2).
+// A graph with no edges has CCR 0.
+func (g *Graph) CCR() float64 {
+	if g.NumNodes() == 0 || g.numEdges == 0 {
+		return 0
+	}
+	avgComm := float64(g.TotalCommunication()) / float64(g.numEdges)
+	avgComp := float64(g.TotalComputation()) / float64(g.NumNodes())
+	if avgComp == 0 {
+		return 0
+	}
+	return avgComm / avgComp
+}
+
+// Validate checks the internal consistency of the graph: mirrored
+// adjacency lists, non-negative costs, and acyclicity. Graphs produced by
+// Builder.Build always validate; this is a guard for hand-constructed or
+// deserialized graphs and for use in tests.
+func (g *Graph) Validate() error {
+	n := g.NumNodes()
+	if len(g.label) != n || len(g.succs) != n || len(g.preds) != n {
+		return errors.New("dag: inconsistent slice lengths")
+	}
+	edges := 0
+	for u := range g.succs {
+		for _, a := range g.succs[u] {
+			if a.To < 0 || int(a.To) >= n {
+				return fmt.Errorf("dag: edge from %d to out-of-range node %d", u, a.To)
+			}
+			if a.To == NodeID(u) {
+				return fmt.Errorf("dag: self-loop at node %d", u)
+			}
+			if a.Weight < 0 {
+				return fmt.Errorf("dag: negative communication cost on edge (%d,%d)", u, a.To)
+			}
+			w, ok := reverseLookup(g.preds[a.To], NodeID(u))
+			if !ok || w != a.Weight {
+				return fmt.Errorf("dag: edge (%d,%d) not mirrored in predecessor list", u, a.To)
+			}
+			edges++
+		}
+	}
+	if edges != g.numEdges {
+		return fmt.Errorf("dag: edge count %d does not match stored %d", edges, g.numEdges)
+	}
+	for _, w := range g.weight {
+		if w < 0 {
+			return errors.New("dag: negative computation cost")
+		}
+	}
+	if _, err := topoSort(n, g.succs, g.preds); err != nil {
+		return err
+	}
+	return nil
+}
+
+func reverseLookup(arcs []Arc, from NodeID) (int64, bool) {
+	for _, a := range arcs {
+		if a.To == from {
+			return a.Weight, true
+		}
+	}
+	return 0, false
+}
+
+// Builder accumulates nodes and edges and produces an immutable Graph.
+// The zero value is ready to use.
+type Builder struct {
+	weight []int64
+	label  []string
+	succs  [][]Arc
+	preds  [][]Arc
+	edges  int
+	err    error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// AddNode adds a task with the given computation cost and returns its ID.
+// Negative costs are recorded as a build error reported by Build.
+func (b *Builder) AddNode(weight int64) NodeID {
+	return b.AddLabeledNode(weight, "")
+}
+
+// AddLabeledNode adds a task with a computation cost and a label.
+func (b *Builder) AddLabeledNode(weight int64, label string) NodeID {
+	if weight < 0 && b.err == nil {
+		b.err = fmt.Errorf("dag: node %d has negative cost %d", len(b.weight), weight)
+	}
+	b.weight = append(b.weight, weight)
+	b.label = append(b.label, label)
+	b.succs = append(b.succs, nil)
+	b.preds = append(b.preds, nil)
+	return NodeID(len(b.weight) - 1)
+}
+
+// AddEdge adds a precedence edge from one task to another with the given
+// communication cost. Invalid endpoints, self-loops, duplicate edges, and
+// negative costs are recorded as build errors reported by Build.
+func (b *Builder) AddEdge(from, to NodeID, weight int64) {
+	if b.err != nil {
+		return
+	}
+	n := NodeID(len(b.weight))
+	switch {
+	case from < 0 || from >= n || to < 0 || to >= n:
+		b.err = fmt.Errorf("dag: edge (%d,%d) references unknown node", from, to)
+	case from == to:
+		b.err = fmt.Errorf("dag: self-loop at node %d", from)
+	case weight < 0:
+		b.err = fmt.Errorf("dag: edge (%d,%d) has negative cost %d", from, to, weight)
+	default:
+		if _, dup := reverseLookup(b.succs[from], to); dup {
+			b.err = fmt.Errorf("dag: duplicate edge (%d,%d)", from, to)
+			return
+		}
+		b.succs[from] = append(b.succs[from], Arc{To: to, Weight: weight})
+		b.preds[to] = append(b.preds[to], Arc{To: from, Weight: weight})
+		b.edges++
+	}
+}
+
+// NumNodes returns the number of nodes added so far.
+func (b *Builder) NumNodes() int { return len(b.weight) }
+
+// Build finalizes the graph. It fails if any recorded construction error
+// exists or if the edges form a cycle.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	topo, err := topoSort(len(b.weight), b.succs, b.preds)
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph{
+		weight:   b.weight,
+		label:    b.label,
+		succs:    b.succs,
+		preds:    b.preds,
+		topo:     topo,
+		numEdges: b.edges,
+	}
+	// Detach the builder so further mutation cannot alias the graph.
+	b.weight, b.label, b.succs, b.preds = nil, nil, nil, nil
+	b.edges = 0
+	return g, nil
+}
+
+// MustBuild is Build that panics on error, for tests and fixed fixtures.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// ErrCycle is returned when the edge set contains a directed cycle.
+var ErrCycle = errors.New("dag: graph contains a cycle")
+
+// topoSort returns a topological order using Kahn's algorithm, preferring
+// smaller IDs first so the order is deterministic.
+func topoSort(n int, succs, preds [][]Arc) ([]NodeID, error) {
+	indeg := make([]int, n)
+	for v := range preds {
+		indeg[v] = len(preds[v])
+	}
+	// A simple FIFO queue seeded in ID order gives a stable order without
+	// the cost of a priority queue; determinism is what matters here.
+	queue := make([]NodeID, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, NodeID(v))
+		}
+	}
+	order := make([]NodeID, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, a := range succs[v] {
+			indeg[a.To]--
+			if indeg[a.To] == 0 {
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}

@@ -1,0 +1,32 @@
+package dag
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot format. Node boxes show the label
+// (or ID) and the computation cost; edges show the communication cost.
+func DOT(g *Graph, name string) string {
+	var b strings.Builder
+	if name == "" {
+		name = "taskgraph"
+	}
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=TB;\n  node [shape=circle];\n")
+	for v := 0; v < g.NumNodes(); v++ {
+		id := NodeID(v)
+		label := g.Label(id)
+		if label == "" {
+			label = fmt.Sprintf("n%d", v)
+		}
+		fmt.Fprintf(&b, "  %d [label=\"%s\\n%d\"];\n", v, label, g.Weight(id))
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, a := range g.Succs(NodeID(v)) {
+			fmt.Fprintf(&b, "  %d -> %d [label=\"%d\"];\n", v, a.To, a.Weight)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

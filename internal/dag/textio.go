@@ -1,0 +1,110 @@
+package dag
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format is a minimal line-oriented exchange format for task
+// graphs, sufficient for the cmd tools and for storing fixture graphs:
+//
+//	# comment lines and blank lines are ignored
+//	nodes <count>
+//	node <id> <weight> [label]
+//	edge <from> <to> <weight>
+//
+// Node lines must precede edge lines that use them; the "nodes" header is
+// optional and, when present, must match the number of node lines.
+
+// WriteText writes the graph in the text exchange format.
+func WriteText(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "nodes %d\n", g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		if lbl := g.Label(NodeID(v)); lbl != "" {
+			fmt.Fprintf(bw, "node %d %d %s\n", v, g.Weight(NodeID(v)), lbl)
+		} else {
+			fmt.Fprintf(bw, "node %d %d\n", v, g.Weight(NodeID(v)))
+		}
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, a := range g.Succs(NodeID(v)) {
+			fmt.Fprintf(bw, "edge %d %d %d\n", v, a.To, a.Weight)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses a graph from the text exchange format.
+func ReadText(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	b := NewBuilder()
+	declared := -1
+	line := 0
+	ids := map[int]NodeID{}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "nodes":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("dag: line %d: nodes wants 1 argument", line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("dag: line %d: bad node count %q", line, fields[1])
+			}
+			declared = n
+		case "node":
+			if len(fields) < 3 || len(fields) > 4 {
+				return nil, fmt.Errorf("dag: line %d: node wants id, weight, [label]", line)
+			}
+			id, err1 := strconv.Atoi(fields[1])
+			w, err2 := strconv.ParseInt(fields[2], 10, 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("dag: line %d: bad node line %q", line, text)
+			}
+			if _, dup := ids[id]; dup {
+				return nil, fmt.Errorf("dag: line %d: duplicate node id %d", line, id)
+			}
+			label := ""
+			if len(fields) == 4 {
+				label = fields[3]
+			}
+			ids[id] = b.AddLabeledNode(w, label)
+		case "edge":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("dag: line %d: edge wants from, to, weight", line)
+			}
+			from, err1 := strconv.Atoi(fields[1])
+			to, err2 := strconv.Atoi(fields[2])
+			w, err3 := strconv.ParseInt(fields[3], 10, 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("dag: line %d: bad edge line %q", line, text)
+			}
+			u, ok1 := ids[from]
+			v, ok2 := ids[to]
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("dag: line %d: edge references undeclared node", line)
+			}
+			b.AddEdge(u, v, w)
+		default:
+			return nil, fmt.Errorf("dag: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if declared >= 0 && declared != b.NumNodes() {
+		return nil, fmt.Errorf("dag: declared %d nodes but found %d", declared, b.NumNodes())
+	}
+	return b.Build()
+}

@@ -1,0 +1,104 @@
+package dag
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	g, _ := diamond(t)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	assertGraphsEqual(t, g, got)
+}
+
+func TestTextRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		g := randomLayeredGraph(rng, 1+rng.Intn(40))
+		var buf bytes.Buffer
+		if err := WriteText(&buf, g); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		got, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("ReadText: %v", err)
+		}
+		assertGraphsEqual(t, g, got)
+	}
+}
+
+func assertGraphsEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("size mismatch: %d/%d nodes, %d/%d edges",
+			a.NumNodes(), b.NumNodes(), a.NumEdges(), b.NumEdges())
+	}
+	for v := 0; v < a.NumNodes(); v++ {
+		id := NodeID(v)
+		if a.Weight(id) != b.Weight(id) {
+			t.Fatalf("node %d weight %d != %d", v, a.Weight(id), b.Weight(id))
+		}
+		if a.Label(id) != b.Label(id) {
+			t.Fatalf("node %d label %q != %q", v, a.Label(id), b.Label(id))
+		}
+		for _, arc := range a.Succs(id) {
+			w, ok := b.EdgeWeight(id, arc.To)
+			if !ok || w != arc.Weight {
+				t.Fatalf("edge (%d,%d) weight %d missing or %d", v, arc.To, arc.Weight, w)
+			}
+		}
+	}
+}
+
+func TestReadTextComments(t *testing.T) {
+	src := `
+# a tiny graph
+nodes 2
+node 0 10 first
+node 1 20
+
+edge 0 1 7
+`
+	g, err := ReadText(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("parsed %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if g.Label(0) != "first" || g.Weight(1) != 20 {
+		t.Error("node attributes not parsed")
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad directive":     "frobnicate 1 2\n",
+		"bad node count":    "nodes -3\n",
+		"short node":        "node 0\n",
+		"bad node weight":   "node 0 xyz\n",
+		"duplicate node":    "node 0 1\nnode 0 2\n",
+		"short edge":        "node 0 1\nnode 1 1\nedge 0 1\n",
+		"undeclared node":   "node 0 1\nedge 0 7 3\n",
+		"count mismatch":    "nodes 5\nnode 0 1\n",
+		"cycle in file":     "node 0 1\nnode 1 1\nedge 0 1 1\nedge 1 0 1\n",
+		"negative edge":     "node 0 1\nnode 1 1\nedge 0 1 -4\n",
+		"bad edge endpoint": "node 0 1\nnode 1 1\nedge 0 q 1\n",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadText(strings.NewReader(src)); err == nil {
+				t.Errorf("ReadText accepted %q", src)
+			}
+		})
+	}
+}

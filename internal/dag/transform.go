@@ -1,0 +1,98 @@
+package dag
+
+import "fmt"
+
+// TransitiveReduction returns a new graph with every redundant edge
+// removed: an edge (u,v) is redundant when v is reachable from u through
+// some longer path. Node weights and the weights of surviving edges are
+// preserved. Scheduling semantics are *not* invariant under reduction —
+// a removed edge's communication no longer costs anything — so this is
+// an analysis and preprocessing tool (the paper's traced graphs come
+// from compilers, which emit reduced dependence graphs), not a free
+// optimization.
+func TransitiveReduction(g *Graph) (*Graph, error) {
+	n := g.NumNodes()
+	reach := transitiveClosure(g)
+	b := NewBuilder()
+	for v := 0; v < n; v++ {
+		b.AddLabeledNode(g.Weight(NodeID(v)), g.Label(NodeID(v)))
+	}
+	for u := 0; u < n; u++ {
+		for _, a := range g.Succs(NodeID(u)) {
+			if !reachableThroughOther(g, reach, NodeID(u), a.To) {
+				b.AddEdge(NodeID(u), a.To, a.Weight)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// reachableThroughOther reports whether v is reachable from u via some
+// intermediate successor (making the direct edge redundant).
+func reachableThroughOther(g *Graph, reach [][]uint64, u, v NodeID) bool {
+	for _, a := range g.Succs(u) {
+		if a.To == v {
+			continue
+		}
+		if reach[a.To][v/64]&(1<<(uint(v)%64)) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats summarizes the structural properties that the benchmark suites
+// parameterize (paper section 5): size, degree distribution, depth
+// (number of nodes on the longest chain), width, and CCR.
+type Stats struct {
+	Nodes, Edges       int
+	Entries, Exits     int
+	MaxIn, MaxOut      int
+	Depth              int // nodes on the longest path (ignoring weights)
+	Width              int // maximum antichain
+	CPLength           int64
+	TotalComputation   int64
+	TotalCommunication int64
+	CCR                float64
+}
+
+// ComputeStats returns the structural summary of g.
+func ComputeStats(g *Graph) Stats {
+	st := Stats{
+		Nodes:              g.NumNodes(),
+		Edges:              g.NumEdges(),
+		Entries:            len(g.Entries()),
+		Exits:              len(g.Exits()),
+		Width:              Width(g),
+		CPLength:           CriticalPathLength(g),
+		TotalComputation:   g.TotalComputation(),
+		TotalCommunication: g.TotalCommunication(),
+		CCR:                g.CCR(),
+	}
+	depth := make([]int, g.NumNodes())
+	for _, v := range g.topoOrder() {
+		if g.InDegree(v) > st.MaxIn {
+			st.MaxIn = g.InDegree(v)
+		}
+		if g.OutDegree(v) > st.MaxOut {
+			st.MaxOut = g.OutDegree(v)
+		}
+		depth[v] = 1
+		for _, p := range g.Preds(v) {
+			if depth[p.To]+1 > depth[v] {
+				depth[v] = depth[p.To] + 1
+			}
+		}
+		if depth[v] > st.Depth {
+			st.Depth = depth[v]
+		}
+	}
+	return st
+}
+
+// String renders the stats in one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("v=%d e=%d entries=%d exits=%d maxIn=%d maxOut=%d depth=%d width=%d cp=%d comp=%d comm=%d ccr=%.3f",
+		s.Nodes, s.Edges, s.Entries, s.Exits, s.MaxIn, s.MaxOut,
+		s.Depth, s.Width, s.CPLength, s.TotalComputation, s.TotalCommunication, s.CCR)
+}

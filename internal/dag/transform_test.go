@@ -1,0 +1,123 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTransitiveReductionRemovesShortcut(t *testing.T) {
+	// a -> b -> c plus shortcut a -> c: the shortcut must go.
+	b := NewBuilder()
+	na := b.AddNode(1)
+	nb := b.AddNode(1)
+	nc := b.AddNode(1)
+	b.AddEdge(na, nb, 2)
+	b.AddEdge(nb, nc, 3)
+	b.AddEdge(na, nc, 9)
+	g := b.MustBuild()
+	r, err := TransitiveReduction(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumEdges() != 2 {
+		t.Fatalf("reduction kept %d edges, want 2", r.NumEdges())
+	}
+	if r.HasEdge(na, nc) {
+		t.Error("shortcut edge survived reduction")
+	}
+	if w, _ := r.EdgeWeight(na, nb); w != 2 {
+		t.Error("surviving edge weight changed")
+	}
+}
+
+func TestTransitiveReductionKeepsDiamond(t *testing.T) {
+	g, _ := diamond(t)
+	r, err := TransitiveReduction(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumEdges() != g.NumEdges() {
+		t.Errorf("diamond has no redundant edges but %d were removed",
+			g.NumEdges()-r.NumEdges())
+	}
+}
+
+func TestTransitiveReductionPreservesReachability(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 20; trial++ {
+		g := randomLayeredGraph(rng, 2+rng.Intn(20))
+		r, err := TransitiveReduction(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.NumEdges() > g.NumEdges() {
+			t.Fatal("reduction added edges")
+		}
+		for u := 0; u < g.NumNodes(); u++ {
+			for v := 0; v < g.NumNodes(); v++ {
+				if u == v {
+					continue
+				}
+				a, b := Reachable(g, NodeID(u), NodeID(v)), Reachable(r, NodeID(u), NodeID(v))
+				if a != b {
+					t.Fatalf("trial %d: reachability (%d,%d) changed: %v -> %v", trial, u, v, a, b)
+				}
+			}
+		}
+		// Reducing twice is a fixpoint.
+		rr, err := TransitiveReduction(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rr.NumEdges() != r.NumEdges() {
+			t.Fatalf("trial %d: reduction not idempotent", trial)
+		}
+	}
+}
+
+func TestComputeStatsDiamond(t *testing.T) {
+	g, _ := diamond(t)
+	st := ComputeStats(g)
+	if st.Nodes != 4 || st.Edges != 4 {
+		t.Errorf("stats size wrong: %+v", st)
+	}
+	if st.Entries != 1 || st.Exits != 1 {
+		t.Errorf("entries/exits wrong: %+v", st)
+	}
+	if st.MaxIn != 2 || st.MaxOut != 2 {
+		t.Errorf("degrees wrong: %+v", st)
+	}
+	if st.Depth != 3 {
+		t.Errorf("Depth = %d, want 3 (a-b-d)", st.Depth)
+	}
+	if st.Width != 2 || st.CPLength != 15 {
+		t.Errorf("width/CP wrong: %+v", st)
+	}
+	if st.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestComputeStatsChainAndIndependent(t *testing.T) {
+	b := NewBuilder()
+	prev := b.AddNode(1)
+	for i := 0; i < 4; i++ {
+		n := b.AddNode(1)
+		b.AddEdge(prev, n, 1)
+		prev = n
+	}
+	chain := b.MustBuild()
+	st := ComputeStats(chain)
+	if st.Depth != 5 || st.Width != 1 {
+		t.Errorf("chain stats wrong: %+v", st)
+	}
+
+	b2 := NewBuilder()
+	for i := 0; i < 6; i++ {
+		b2.AddNode(1)
+	}
+	ind := ComputeStats(b2.MustBuild())
+	if ind.Depth != 1 || ind.Width != 6 || ind.Entries != 6 {
+		t.Errorf("independent stats wrong: %+v", ind)
+	}
+}

@@ -1,0 +1,116 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWidthDiamond(t *testing.T) {
+	g, _ := diamond(t)
+	if w := Width(g); w != 2 {
+		t.Errorf("Width = %d, want 2", w)
+	}
+}
+
+func TestWidthChain(t *testing.T) {
+	b := NewBuilder()
+	prev := b.AddNode(1)
+	for i := 0; i < 9; i++ {
+		n := b.AddNode(1)
+		b.AddEdge(prev, n, 1)
+		prev = n
+	}
+	if w := Width(b.MustBuild()); w != 1 {
+		t.Errorf("chain width = %d, want 1", w)
+	}
+}
+
+func TestWidthIndependent(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i < 7; i++ {
+		b.AddNode(1)
+	}
+	if w := Width(b.MustBuild()); w != 7 {
+		t.Errorf("independent-set width = %d, want 7", w)
+	}
+}
+
+func TestWidthForkJoin(t *testing.T) {
+	// One source, k parallel middles, one sink: width k.
+	const k = 5
+	b := NewBuilder()
+	src := b.AddNode(1)
+	sink := b.AddNode(1)
+	for i := 0; i < k; i++ {
+		m := b.AddNode(1)
+		b.AddEdge(src, m, 1)
+		b.AddEdge(m, sink, 1)
+	}
+	if w := Width(b.MustBuild()); w != k {
+		t.Errorf("fork-join width = %d, want %d", w, k)
+	}
+}
+
+func TestWidthEmpty(t *testing.T) {
+	if w := Width(NewBuilder().MustBuild()); w != 0 {
+		t.Errorf("empty width = %d, want 0", w)
+	}
+}
+
+// bruteForceWidth computes the maximum antichain by enumerating all
+// subsets; usable only for very small graphs.
+func bruteForceWidth(g *Graph) int {
+	n := g.NumNodes()
+	reach := make([][]bool, n)
+	for u := 0; u < n; u++ {
+		reach[u] = make([]bool, n)
+		for v := 0; v < n; v++ {
+			if u != v {
+				reach[u][v] = Reachable(g, NodeID(u), NodeID(v))
+			}
+		}
+	}
+	best := 0
+	for mask := 0; mask < 1<<n; mask++ {
+		var members []int
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				members = append(members, v)
+			}
+		}
+		ok := true
+		for i := 0; i < len(members) && ok; i++ {
+			for j := i + 1; j < len(members) && ok; j++ {
+				u, v := members[i], members[j]
+				if reach[u][v] || reach[v][u] {
+					ok = false
+				}
+			}
+		}
+		if ok && len(members) > best {
+			best = len(members)
+		}
+	}
+	return best
+}
+
+func TestWidthMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 60; trial++ {
+		g := randomLayeredGraph(rng, 2+rng.Intn(9))
+		got := Width(g)
+		want := bruteForceWidth(g)
+		if got != want {
+			t.Fatalf("trial %d: Width = %d, brute force = %d\n%s", trial, got, want, DOT(g, "w"))
+		}
+	}
+}
+
+func TestWidthLargeGraphTerminates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomLayeredGraph(rng, 300)
+	w := Width(g)
+	if w < 1 || w > 300 {
+		t.Errorf("implausible width %d", w)
+	}
+}

@@ -1,0 +1,95 @@
+// Package gen generates the five benchmark graph suites of Kwok & Ahmad
+// (IPPS 1998, section 5):
+//
+//   - PSG — peer set graphs: small example DAGs of the kind published
+//     alongside the original algorithm papers;
+//   - RGBOS — random graphs whose optimal schedules are obtained by
+//     branch-and-bound (10–32 nodes, CCR ∈ {0.1, 1, 10});
+//   - RGPOS — larger random graphs constructed around a pre-determined
+//     optimal schedule (50–500 nodes, CCR ∈ {0.1, 1, 10});
+//   - RGNOS — 250 large random graphs without known optima, varying
+//     size × CCR × parallelism (width);
+//   - TG — traced graphs of parallel numerical programs: Cholesky
+//     factorization (the paper's choice), plus Gaussian elimination and
+//     FFT generators as extensions.
+//
+// All generators are deterministic given their seed, so every experiment
+// in the repository is reproducible.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dag"
+)
+
+// NamedGraph pairs a benchmark graph with its provenance.
+type NamedGraph struct {
+	Name   string
+	Source string // citation or generator parameters
+	G      *dag.Graph
+}
+
+// PaperCCRs are the CCR values used for the RGBOS and RGPOS suites
+// (paper sections 5.2, 5.3).
+var PaperCCRs = []float64{0.1, 1.0, 10.0}
+
+// RGNOSCCRs are the five CCR values of the RGNOS suite (section 5.4).
+var RGNOSCCRs = []float64{0.1, 0.5, 1.0, 2.0, 10.0}
+
+// meanNodeCost is the paper's mean computation cost (section 5.2).
+const meanNodeCost = 40
+
+// uniformCost draws an integer from a uniform distribution with the
+// given mean: U[2, 2·mean-2] for the paper's node costs (mean 40 gives
+// the documented [2,78] range) and U[1, 2·mean-1] in general.
+func uniformCost(rng *rand.Rand, mean int64, lo int64) int64 {
+	hi := 2*mean - lo
+	if hi <= lo {
+		return mean
+	}
+	return lo + rng.Int63n(hi-lo+1)
+}
+
+// commMean converts a CCR value into the mean communication cost used by
+// the random suites: 40·CCR, at least 1.
+func commMean(ccr float64) int64 {
+	m := int64(math.Round(meanNodeCost * ccr))
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// randomDAG is the shared RGBOS/RGNOS body: v nodes with U[2,78] costs,
+// each node sprouting a uniform number of children with the given mean
+// fanout toward random higher-numbered targets, edge costs uniform with
+// mean 40·CCR.
+func randomDAG(rng *rand.Rand, v int, meanFanout float64, ccr float64) *dag.Graph {
+	b := dag.NewBuilder()
+	for i := 0; i < v; i++ {
+		b.AddNode(uniformCost(rng, meanNodeCost, 2))
+	}
+	cm := commMean(ccr)
+	maxFan := int(2*meanFanout) + 1
+	for i := 0; i < v-1; i++ {
+		kids := rng.Intn(maxFan) // uniform over [0, 2*meanFanout]
+		seen := map[int]bool{}
+		for k := 0; k < kids; k++ {
+			j := i + 1 + rng.Intn(v-i-1)
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			b.AddEdge(dag.NodeID(i), dag.NodeID(j), uniformCost(rng, cm, 1))
+		}
+	}
+	return b.MustBuild()
+}
+
+// ccrLabel renders a CCR for use in graph names.
+func ccrLabel(ccr float64) string {
+	return fmt.Sprintf("ccr%g", ccr)
+}

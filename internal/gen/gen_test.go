@@ -1,0 +1,331 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dag"
+)
+
+func TestPeerSetSuite(t *testing.T) {
+	psgs := PeerSet()
+	if len(psgs) != 10 {
+		t.Fatalf("PeerSet has %d graphs, want 10", len(psgs))
+	}
+	seen := map[string]bool{}
+	for _, ng := range psgs {
+		if ng.Name == "" || ng.Source == "" {
+			t.Errorf("graph missing name or source: %+v", ng.Name)
+		}
+		if seen[ng.Name] {
+			t.Errorf("duplicate PSG name %q", ng.Name)
+		}
+		seen[ng.Name] = true
+		if err := ng.G.Validate(); err != nil {
+			t.Errorf("%s: %v", ng.Name, err)
+		}
+		if ng.G.NumNodes() < 4 || ng.G.NumNodes() > 32 {
+			t.Errorf("%s: %d nodes, PSGs should be small", ng.Name, ng.G.NumNodes())
+		}
+	}
+}
+
+func TestRGBOSSuiteShape(t *testing.T) {
+	suite := RGBOS(DefaultRGBOSConfig(1.0, 42))
+	if len(suite) != 12 {
+		t.Fatalf("RGBOS subset has %d graphs, want 12 (10..32 step 2)", len(suite))
+	}
+	for i, ng := range suite {
+		want := 10 + 2*i
+		if ng.G.NumNodes() != want {
+			t.Errorf("graph %d has %d nodes, want %d", i, ng.G.NumNodes(), want)
+		}
+		if err := ng.G.Validate(); err != nil {
+			t.Errorf("%s: %v", ng.Name, err)
+		}
+	}
+}
+
+func TestRGBOSDeterministic(t *testing.T) {
+	a := RGBOS(DefaultRGBOSConfig(1.0, 7))
+	b := RGBOS(DefaultRGBOSConfig(1.0, 7))
+	for i := range a {
+		if a[i].G.NumEdges() != b[i].G.NumEdges() {
+			t.Fatalf("graph %d differs between equal-seed runs", i)
+		}
+	}
+	c := RGBOS(DefaultRGBOSConfig(1.0, 8))
+	same := true
+	for i := range a {
+		if a[i].G.NumEdges() != c[i].G.NumEdges() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical suites (suspicious)")
+	}
+}
+
+func TestRGBOSCCRTracksTarget(t *testing.T) {
+	for _, ccr := range PaperCCRs {
+		suite := RGBOS(DefaultRGBOSConfig(ccr, 3))
+		var total float64
+		n := 0
+		for _, ng := range suite {
+			if ng.G.NumEdges() == 0 {
+				continue
+			}
+			total += ng.G.CCR()
+			n++
+		}
+		avg := total / float64(n)
+		if avg < ccr/2 || avg > ccr*2 {
+			t.Errorf("CCR=%g: measured average %.3f is off by more than 2x", ccr, avg)
+		}
+	}
+}
+
+func TestRGPOSConstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, v := range []int{50, 120, 300} {
+		inst := RGPOSGraph(rng, v, 8, 1.0)
+		if err := inst.G.Validate(); err != nil {
+			t.Fatalf("v=%d: %v", v, err)
+		}
+		// The construction schedule must be a valid schedule of exactly
+		// the promised length with every processor fully busy.
+		if err := inst.Optimal.Validate(); err != nil {
+			t.Fatalf("v=%d: optimal schedule invalid: %v", v, err)
+		}
+		if !inst.Optimal.Complete() {
+			t.Fatalf("v=%d: optimal schedule incomplete", v)
+		}
+		if inst.Optimal.Length() != inst.OptimalLength {
+			t.Fatalf("v=%d: optimal length %d != promised %d",
+				v, inst.Optimal.Length(), inst.OptimalLength)
+		}
+		// No idle: per-processor busy time equals the span.
+		for p := 0; p < inst.Procs; p++ {
+			var busy int64
+			for _, sl := range inst.Optimal.Slots(p) {
+				busy += sl.Finish - sl.Start
+			}
+			if busy != inst.OptimalLength {
+				t.Fatalf("v=%d: P%d busy %d of %d (idle time in 'optimal' schedule)",
+					v, p, busy, inst.OptimalLength)
+			}
+		}
+		// Total work = procs * L means L is a hard lower bound.
+		if inst.G.TotalComputation() != int64(inst.Procs)*inst.OptimalLength {
+			t.Fatalf("v=%d: total work %d != p*L = %d",
+				v, inst.G.TotalComputation(), int64(inst.Procs)*inst.OptimalLength)
+		}
+		// Chain edges pin most per-processor sequences (70% of the
+		// consecutive pairs): verify the majority is chained, which is
+		// what keeps unbounded-processor schedules from beating L.
+		chained, pairs := 0, 0
+		for p := 0; p < inst.Procs; p++ {
+			slots := inst.Optimal.Slots(p)
+			for i := 1; i < len(slots); i++ {
+				pairs++
+				if inst.G.HasEdge(slots[i-1].Node, slots[i].Node) {
+					chained++
+				}
+			}
+		}
+		if pairs > 0 && float64(chained)/float64(pairs) < 0.5 {
+			t.Fatalf("v=%d: only %d of %d consecutive pairs chained", v, chained, pairs)
+		}
+	}
+}
+
+func TestRGPOSSuiteShape(t *testing.T) {
+	suite := RGPOS(DefaultRGPOSConfig(0.1, 11))
+	if len(suite) != 10 {
+		t.Fatalf("RGPOS subset has %d instances, want 10", len(suite))
+	}
+	for _, inst := range suite {
+		if inst.Name == "" {
+			t.Error("instance missing name")
+		}
+	}
+}
+
+func TestRGNOSSuiteShape(t *testing.T) {
+	cfg := DefaultRGNOSConfig(1)
+	cfg.MaxNodes = 150 // keep the test fast: 3 sizes x 5 CCR x 5 par = 75
+	suite := RGNOS(cfg)
+	if len(suite) != 75 {
+		t.Fatalf("RGNOS suite has %d graphs, want 75", len(suite))
+	}
+	for _, ng := range suite {
+		if err := ng.G.Validate(); err != nil {
+			t.Fatalf("%s: %v", ng.Name, err)
+		}
+	}
+}
+
+func TestRGNOSWidthTracksParallelism(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	v := 100
+	w1 := dag.Width(RGNOSGraph(rng, v, 1.0, 1))
+	w5 := dag.Width(RGNOSGraph(rng, v, 1.0, 5))
+	t1 := math.Sqrt(float64(v))     // target 10
+	t5 := 5 * math.Sqrt(float64(v)) // target 50
+	if float64(w1) > 3*t1 {
+		t.Errorf("parallelism 1: width %d far above target %.0f", w1, t1)
+	}
+	if float64(w5) < t5/3 {
+		t.Errorf("parallelism 5: width %d far below target %.0f", w5, t5)
+	}
+	if w5 <= w1 {
+		t.Errorf("width does not grow with parallelism: w1=%d w5=%d", w1, w5)
+	}
+}
+
+func TestRGNOSNodeCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, v := range []int{50, 250, 500} {
+		g := RGNOSGraph(rng, v, 1.0, 3)
+		if g.NumNodes() != v {
+			t.Errorf("RGNOSGraph(%d) has %d nodes", v, g.NumNodes())
+		}
+	}
+}
+
+func TestCholeskyStructure(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 10} {
+		g, err := Cholesky(n, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := n + n*(n-1)/2
+		if g.NumNodes() != want {
+			t.Errorf("Cholesky(%d) has %d tasks, want %d", n, g.NumNodes(), want)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Cholesky(0, 1.0); err == nil {
+		t.Error("Cholesky accepted N=0")
+	}
+}
+
+func TestCholeskyDependencies(t *testing.T) {
+	g, err := Cholesky(3, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cdiv1 is the only entry; cdiv3 the only exit.
+	entries := g.Entries()
+	if len(entries) != 1 || g.Label(entries[0]) != "cdiv1" {
+		t.Errorf("entries = %v, want only cdiv1", entries)
+	}
+	exits := g.Exits()
+	if len(exits) != 1 || g.Label(exits[0]) != "cdiv3" {
+		t.Errorf("exits = %v, want only cdiv3", exits)
+	}
+}
+
+func TestGaussianEliminationStructure(t *testing.T) {
+	g, err := GaussianElimination(5, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tasks: sum over k=1..4 of 1 pivot + (5-k) updates = 4 + (4+3+2+1) = 14... wait:
+	// k runs 1..n-1: pivots = 4; updates per k = n-k: 4+3+2+1 = 10; total 14... hmm.
+	want := 4 + 10
+	if g.NumNodes() != want {
+		t.Errorf("GaussianElimination(5) has %d tasks, want %d", g.NumNodes(), want)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GaussianElimination(0, 1.0); err == nil {
+		t.Error("accepted N=0")
+	}
+}
+
+func TestFFTStructure(t *testing.T) {
+	g, err := FFT(8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 inputs + 3 ranks x 4 butterflies = 20 tasks.
+	if g.NumNodes() != 20 {
+		t.Errorf("FFT(8) has %d tasks, want 20", g.NumNodes())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FFT(6, 1.0); err == nil {
+		t.Error("accepted non-power-of-two point count")
+	}
+	if _, err := FFT(1, 1.0); err == nil {
+		t.Error("accepted single point")
+	}
+}
+
+func TestShapeGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	ot, err := OutTree(rng, 3, 2, 1.0)
+	if err != nil || ot.NumNodes() != 7 {
+		t.Errorf("OutTree(3,2): %d nodes, err %v; want 7", ot.NumNodes(), err)
+	}
+	it, err := InTree(rng, 3, 2, 1.0)
+	if err != nil || it.NumNodes() != 7 {
+		t.Errorf("InTree(3,2): %d nodes, err %v; want 7", it.NumNodes(), err)
+	}
+	if len(it.Exits()) != 1 {
+		t.Error("InTree should reduce to a single root")
+	}
+	fj, err := ForkJoin(rng, 2, 3, 1.0)
+	if err != nil || fj.NumNodes() != 9 {
+		t.Errorf("ForkJoin(2,3): %d nodes, err %v; want 9", fj.NumNodes(), err)
+	}
+	ch, err := Chain(rng, 5, 1.0)
+	if err != nil || ch.NumNodes() != 5 {
+		t.Errorf("Chain(5): %d nodes, err %v", ch.NumNodes(), err)
+	}
+	if w := dag.Width(ch); w != 1 {
+		t.Errorf("chain width = %d", w)
+	}
+	for _, bad := range []error{
+		errOf(OutTree(rng, 0, 2, 1)), errOf(InTree(rng, 1, 0, 1)),
+		errOf(ForkJoin(rng, 0, 1, 1)), errOf(Chain(rng, 0, 1)),
+	} {
+		if bad == nil {
+			t.Error("shape generator accepted invalid arguments")
+		}
+	}
+}
+
+func errOf(_ *dag.Graph, err error) error { return err }
+
+func TestUniformCostRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var sum int64
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		c := uniformCost(rng, 40, 2)
+		if c < 2 || c > 78 {
+			t.Fatalf("cost %d outside [2,78]", c)
+		}
+		sum += c
+	}
+	mean := float64(sum) / trials
+	if mean < 38 || mean > 42 {
+		t.Errorf("mean cost %.2f, want ~40", mean)
+	}
+}
+
+func TestCommMean(t *testing.T) {
+	cases := map[float64]int64{0.1: 4, 0.5: 20, 1: 40, 2: 80, 10: 400, 0.001: 1}
+	for ccr, want := range cases {
+		if got := commMean(ccr); got != want {
+			t.Errorf("commMean(%g) = %d, want %d", ccr, got, want)
+		}
+	}
+}

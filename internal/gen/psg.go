@@ -1,0 +1,306 @@
+package gen
+
+import "repro/internal/dag"
+
+// PeerSet returns the Peer Set Graphs (PSG) suite: small example task
+// graphs of the kind published alongside the original algorithm papers
+// (paper section 5.1). The paper collected its PSGs from the cited
+// publications; several of those figures are out of print, so these are
+// documented reconstructions that preserve the published sizes and
+// structural character (fork/join mixes, join-dominated lattices,
+// communication-heavy diamonds). Each graph records its inspiration in
+// Source.
+func PeerSet() []NamedGraph {
+	return []NamedGraph{
+		kwokAhmad9(),
+		wuGajski18(),
+		yangGerasoulis7(),
+		sihLee8(),
+		colinChretienne9(),
+		chungRanka11(),
+		mccrearyGill10(),
+		alMaasarani16(),
+		diamondLattice9(),
+		irregular13(),
+	}
+}
+
+// kwokAhmad9 is the running macro-dataflow example of Kwok & Ahmad's DCP
+// paper: one entry fanning out to a middle layer that funnels into two
+// join nodes and a single exit, with strongly asymmetric edge costs.
+func kwokAhmad9() NamedGraph {
+	b := dag.NewBuilder()
+	n1 := b.AddLabeledNode(2, "n1")
+	n2 := b.AddLabeledNode(3, "n2")
+	n3 := b.AddLabeledNode(3, "n3")
+	n4 := b.AddLabeledNode(4, "n4")
+	n5 := b.AddLabeledNode(5, "n5")
+	n6 := b.AddLabeledNode(4, "n6")
+	n7 := b.AddLabeledNode(4, "n7")
+	n8 := b.AddLabeledNode(4, "n8")
+	n9 := b.AddLabeledNode(1, "n9")
+	b.AddEdge(n1, n2, 4)
+	b.AddEdge(n1, n3, 1)
+	b.AddEdge(n1, n4, 1)
+	b.AddEdge(n1, n5, 1)
+	b.AddEdge(n1, n7, 10)
+	b.AddEdge(n2, n6, 1)
+	b.AddEdge(n2, n7, 1)
+	b.AddEdge(n3, n8, 1)
+	b.AddEdge(n4, n8, 1)
+	b.AddEdge(n5, n8, 1)
+	b.AddEdge(n6, n9, 5)
+	b.AddEdge(n7, n9, 6)
+	b.AddEdge(n8, n9, 5)
+	return NamedGraph{
+		Name:   "kwok-ahmad-9",
+		Source: "reconstruction after Kwok & Ahmad (1996), DCP example",
+		G:      b.MustBuild(),
+	}
+}
+
+// wuGajski18 mirrors the 18-node Gaussian-elimination program graph used
+// to introduce MCP and MD: a triangular cascade of pivot/update tasks.
+func wuGajski18() NamedGraph {
+	g, err := GaussianElimination(5, 0.8)
+	if err != nil {
+		panic(err)
+	}
+	return NamedGraph{
+		Name:   "wu-gajski-18",
+		Source: "reconstruction after Wu & Gajski (1990), Gaussian elimination N=5",
+		G:      g,
+	}
+}
+
+// yangGerasoulis7 is the seven-node DSC illustration: two chains joined
+// at the exit with a communication-heavy shortcut.
+func yangGerasoulis7() NamedGraph {
+	b := dag.NewBuilder()
+	n1 := b.AddLabeledNode(3, "n1")
+	n2 := b.AddLabeledNode(2, "n2")
+	n3 := b.AddLabeledNode(4, "n3")
+	n4 := b.AddLabeledNode(4, "n4")
+	n5 := b.AddLabeledNode(3, "n5")
+	n6 := b.AddLabeledNode(2, "n6")
+	n7 := b.AddLabeledNode(5, "n7")
+	b.AddEdge(n1, n2, 1)
+	b.AddEdge(n1, n3, 6)
+	b.AddEdge(n2, n4, 2)
+	b.AddEdge(n2, n5, 4)
+	b.AddEdge(n3, n6, 1)
+	b.AddEdge(n4, n7, 3)
+	b.AddEdge(n5, n7, 8)
+	b.AddEdge(n6, n7, 2)
+	return NamedGraph{
+		Name:   "yang-gerasoulis-7",
+		Source: "reconstruction after Yang & Gerasoulis (1994), DSC example",
+		G:      b.MustBuild(),
+	}
+}
+
+// sihLee8 reflects the DLS paper's example: two independent entry chains
+// competing for processors before a join.
+func sihLee8() NamedGraph {
+	b := dag.NewBuilder()
+	a1 := b.AddLabeledNode(4, "a1")
+	a2 := b.AddLabeledNode(3, "a2")
+	a3 := b.AddLabeledNode(2, "a3")
+	b1 := b.AddLabeledNode(2, "b1")
+	b2 := b.AddLabeledNode(5, "b2")
+	b3 := b.AddLabeledNode(3, "b3")
+	j := b.AddLabeledNode(4, "join")
+	x := b.AddLabeledNode(1, "exit")
+	b.AddEdge(a1, a2, 2)
+	b.AddEdge(a2, a3, 7)
+	b.AddEdge(b1, b2, 3)
+	b.AddEdge(b2, b3, 1)
+	b.AddEdge(a3, j, 4)
+	b.AddEdge(b3, j, 2)
+	b.AddEdge(a1, b2, 5)
+	b.AddEdge(j, x, 1)
+	return NamedGraph{
+		Name:   "sih-lee-8",
+		Source: "reconstruction after Sih & Lee (1993), DLS example",
+		G:      b.MustBuild(),
+	}
+}
+
+// colinChretienne9 is a small-communication graph in the spirit of the
+// LWB paper's examples: unit-ish communication against larger node
+// weights, where duplication-free scheduling is nearly free of penalty.
+func colinChretienne9() NamedGraph {
+	b := dag.NewBuilder()
+	var n [9]dag.NodeID
+	weights := []int64{5, 4, 4, 6, 3, 4, 5, 3, 6}
+	for i, w := range weights {
+		n[i] = b.AddLabeledNode(w, "")
+	}
+	edges := [][3]int64{
+		{0, 1, 1}, {0, 2, 1}, {1, 3, 2}, {1, 4, 1}, {2, 5, 1},
+		{3, 6, 1}, {4, 6, 2}, {4, 7, 1}, {5, 7, 1}, {6, 8, 1}, {7, 8, 2},
+	}
+	for _, e := range edges {
+		b.AddEdge(n[e[0]], n[e[1]], e[2])
+	}
+	return NamedGraph{
+		Name:   "colin-chretienne-9",
+		Source: "reconstruction after Colin & Chretienne (1991), small-delay example",
+		G:      b.MustBuild(),
+	}
+}
+
+// chungRanka11 is a join-heavy graph after the BTDH paper's running
+// example: wide fan-in with large messages.
+func chungRanka11() NamedGraph {
+	b := dag.NewBuilder()
+	root := b.AddLabeledNode(3, "root")
+	var mids [6]dag.NodeID
+	for i := range mids {
+		mids[i] = b.AddLabeledNode(int64(2+i%3), "")
+		b.AddEdge(root, mids[i], int64(5+3*i))
+	}
+	j1 := b.AddLabeledNode(4, "j1")
+	j2 := b.AddLabeledNode(4, "j2")
+	j3 := b.AddLabeledNode(2, "j3")
+	exit := b.AddLabeledNode(3, "exit")
+	b.AddEdge(mids[0], j1, 6)
+	b.AddEdge(mids[1], j1, 2)
+	b.AddEdge(mids[2], j2, 9)
+	b.AddEdge(mids[3], j2, 3)
+	b.AddEdge(mids[4], j3, 4)
+	b.AddEdge(mids[5], j3, 12)
+	b.AddEdge(j1, exit, 5)
+	b.AddEdge(j2, exit, 1)
+	b.AddEdge(j3, exit, 7)
+	return NamedGraph{
+		Name:   "chung-ranka-11",
+		Source: "reconstruction after Chung & Ranka (1992), BTDH example",
+		G:      b.MustBuild(),
+	}
+}
+
+// mccrearyGill10 follows the CLANS paper's clan-decomposition example:
+// two parallel clans with internal structure.
+func mccrearyGill10() NamedGraph {
+	b := dag.NewBuilder()
+	s := b.AddLabeledNode(2, "s")
+	a1 := b.AddLabeledNode(3, "a1")
+	a2 := b.AddLabeledNode(4, "a2")
+	a3 := b.AddLabeledNode(3, "a3")
+	c1 := b.AddLabeledNode(5, "c1")
+	c2 := b.AddLabeledNode(2, "c2")
+	c3 := b.AddLabeledNode(4, "c3")
+	c4 := b.AddLabeledNode(3, "c4")
+	t := b.AddLabeledNode(2, "t")
+	u := b.AddLabeledNode(4, "u")
+	b.AddEdge(s, a1, 3)
+	b.AddEdge(s, c1, 4)
+	b.AddEdge(a1, a2, 2)
+	b.AddEdge(a1, a3, 5)
+	b.AddEdge(a2, t, 3)
+	b.AddEdge(a3, t, 2)
+	b.AddEdge(c1, c2, 1)
+	b.AddEdge(c1, c3, 6)
+	b.AddEdge(c2, c4, 2)
+	b.AddEdge(c3, c4, 3)
+	b.AddEdge(c4, u, 2)
+	b.AddEdge(t, u, 4)
+	return NamedGraph{
+		Name:   "mccreary-gill-10",
+		Source: "reconstruction after McCreary & Gill (1989), CLANS example",
+		G:      b.MustBuild(),
+	}
+}
+
+// alMaasarani16 is the 16-node diamond lattice used in priority-based
+// scheduling theses: a 4-wide, 7-rank diamond with uniform costs.
+func alMaasarani16() NamedGraph {
+	b := dag.NewBuilder()
+	// Diamond lattice: ranks of sizes 1,2,3,4,3,2,1.
+	sizes := []int{1, 2, 3, 4, 3, 2, 1}
+	var ranks [][]dag.NodeID
+	for _, sz := range sizes {
+		var rank []dag.NodeID
+		for i := 0; i < sz; i++ {
+			rank = append(rank, b.AddLabeledNode(4, ""))
+		}
+		ranks = append(ranks, rank)
+	}
+	for r := 0; r+1 < len(ranks); r++ {
+		cur, next := ranks[r], ranks[r+1]
+		for i, u := range cur {
+			if len(next) >= len(cur) {
+				b.AddEdge(u, next[i], 3)
+				if i+1 < len(next) {
+					b.AddEdge(u, next[i+1], 3)
+				}
+			} else {
+				if i < len(next) {
+					b.AddEdge(u, next[i], 3)
+				}
+				if i-1 >= 0 {
+					b.AddEdge(u, next[i-1], 3)
+				}
+			}
+		}
+	}
+	return NamedGraph{
+		Name:   "al-maasarani-16",
+		Source: "reconstruction after Al-Maasarani (1993), diamond lattice",
+		G:      b.MustBuild(),
+	}
+}
+
+// diamondLattice9 is the small diamond with communication triple the
+// computation — a UNC stress case.
+func diamondLattice9() NamedGraph {
+	b := dag.NewBuilder()
+	sizes := []int{1, 3, 1, 3, 1}
+	var ranks [][]dag.NodeID
+	for _, sz := range sizes {
+		var rank []dag.NodeID
+		for i := 0; i < sz; i++ {
+			rank = append(rank, b.AddLabeledNode(2, ""))
+		}
+		ranks = append(ranks, rank)
+	}
+	for r := 0; r+1 < len(ranks); r++ {
+		for _, u := range ranks[r] {
+			for _, v := range ranks[r+1] {
+				b.AddEdge(u, v, 6)
+			}
+		}
+	}
+	return NamedGraph{
+		Name:   "diamond-9",
+		Source: "synthetic: comm-dominated diamond (CCR 3)",
+		G:      b.MustBuild(),
+	}
+}
+
+// irregular13 is a deliberately unstructured graph mixing chains, forks
+// and a long shortcut edge, so that no single heuristic family is
+// favoured.
+func irregular13() NamedGraph {
+	b := dag.NewBuilder()
+	var n [13]dag.NodeID
+	weights := []int64{6, 2, 7, 3, 4, 2, 8, 3, 5, 2, 6, 4, 3}
+	for i, w := range weights {
+		n[i] = b.AddLabeledNode(w, "")
+	}
+	edges := [][3]int64{
+		{0, 1, 2}, {0, 2, 11}, {0, 3, 1}, {1, 4, 3}, {2, 4, 1},
+		{2, 5, 8}, {3, 5, 2}, {3, 6, 4}, {4, 7, 2}, {5, 8, 6},
+		{6, 8, 1}, {6, 9, 9}, {7, 10, 3}, {8, 10, 2}, {8, 11, 5},
+		{9, 11, 1}, {10, 12, 4}, {11, 12, 2}, {0, 12, 30},
+	}
+	for _, e := range edges {
+		b.AddEdge(n[e[0]], n[e[1]], e[2])
+	}
+	return NamedGraph{
+		Name:   "irregular-13",
+		Source: "synthetic: mixed chain/fork with long shortcut",
+		G:      b.MustBuild(),
+	}
+}

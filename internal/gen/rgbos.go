@@ -1,0 +1,50 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dag"
+)
+
+// RGBOSConfig parameterizes the "random graphs with branch-and-bound
+// optimal solutions" suite (paper section 5.2).
+type RGBOSConfig struct {
+	CCR      float64
+	MinNodes int // inclusive, paper: 10
+	MaxNodes int // inclusive, paper: 32
+	Step     int // paper: 2
+	Seed     int64
+}
+
+// DefaultRGBOSConfig returns the paper's parameters for one CCR subset:
+// 12 graphs of 10..32 nodes in steps of 2.
+func DefaultRGBOSConfig(ccr float64, seed int64) RGBOSConfig {
+	return RGBOSConfig{CCR: ccr, MinNodes: 10, MaxNodes: 32, Step: 2, Seed: seed}
+}
+
+// RGBOS generates one CCR subset of the suite. Optimal lengths are not
+// attached here — internal/core pairs each instance with a
+// branch-and-bound result, mirroring the paper's use of a separate
+// (parallel A*) optimal solver.
+func RGBOS(cfg RGBOSConfig) []NamedGraph {
+	if cfg.Step <= 0 {
+		cfg.Step = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []NamedGraph
+	for v := cfg.MinNodes; v <= cfg.MaxNodes; v += cfg.Step {
+		out = append(out, NamedGraph{
+			Name:   fmt.Sprintf("rgbos-v%d-%s", v, ccrLabel(cfg.CCR)),
+			Source: fmt.Sprintf("RGBOS v=%d CCR=%g seed=%d", v, cfg.CCR, cfg.Seed),
+			G:      RGBOSGraph(rng, v, cfg.CCR),
+		})
+	}
+	return out
+}
+
+// RGBOSGraph generates a single RGBOS-style graph: node costs U[2,78]
+// (mean 40), mean fanout v/10, edge costs uniform with mean 40·CCR.
+func RGBOSGraph(rng *rand.Rand, v int, ccr float64) *dag.Graph {
+	return randomDAG(rng, v, float64(v)/10, ccr)
+}

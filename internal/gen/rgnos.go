@@ -1,0 +1,127 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dag"
+)
+
+// RGNOSConfig parameterizes the "random graphs with no known optimal
+// solutions" suite (paper section 5.4): 250 graphs spanning
+// 10 sizes × 5 CCRs × 5 parallelism degrees.
+type RGNOSConfig struct {
+	MinNodes    int       // paper: 50
+	MaxNodes    int       // paper: 500
+	Step        int       // paper: 50
+	CCRs        []float64 // paper: 0.1, 0.5, 1, 2, 10
+	Parallelism []int     // paper: 1..5 (width ≈ parallelism·sqrt(v))
+	Seed        int64
+}
+
+// DefaultRGNOSConfig returns the paper's full 250-graph suite shape.
+func DefaultRGNOSConfig(seed int64) RGNOSConfig {
+	return RGNOSConfig{
+		MinNodes:    50,
+		MaxNodes:    500,
+		Step:        50,
+		CCRs:        RGNOSCCRs,
+		Parallelism: []int{1, 2, 3, 4, 5},
+		Seed:        seed,
+	}
+}
+
+// RGNOS generates the suite. With the default configuration it returns
+// 250 graphs.
+func RGNOS(cfg RGNOSConfig) []NamedGraph {
+	if cfg.Step <= 0 {
+		cfg.Step = 50
+	}
+	if len(cfg.CCRs) == 0 {
+		cfg.CCRs = RGNOSCCRs
+	}
+	if len(cfg.Parallelism) == 0 {
+		cfg.Parallelism = []int{1, 2, 3, 4, 5}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []NamedGraph
+	for v := cfg.MinNodes; v <= cfg.MaxNodes; v += cfg.Step {
+		for _, ccr := range cfg.CCRs {
+			for _, par := range cfg.Parallelism {
+				out = append(out, NamedGraph{
+					Name:   fmt.Sprintf("rgnos-v%d-%s-w%d", v, ccrLabel(ccr), par),
+					Source: fmt.Sprintf("RGNOS v=%d CCR=%g parallelism=%d seed=%d", v, ccr, par, cfg.Seed),
+					G:      RGNOSGraph(rng, v, ccr, par),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// RGNOSGraph generates one RGNOS graph: v nodes in layers whose width is
+// uniform around parallelism·sqrt(v); every non-entry node has at least
+// one parent in the previous layer (keeping the width close to the
+// target), plus RGBOS-style random extra edges with mean fanout v/10.
+// Costs follow the RGBOS distributions.
+func RGNOSGraph(rng *rand.Rand, v int, ccr float64, parallelism int) *dag.Graph {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	targetWidth := int(math.Round(float64(parallelism) * math.Sqrt(float64(v))))
+	if targetWidth < 1 {
+		targetWidth = 1
+	}
+	if targetWidth > v {
+		targetWidth = v
+	}
+
+	b := dag.NewBuilder()
+	var layers [][]dag.NodeID
+	placed := 0
+	for placed < v {
+		w := int(uniformCost(rng, int64(targetWidth), 1))
+		if w > v-placed {
+			w = v - placed
+		}
+		layer := make([]dag.NodeID, 0, w)
+		for i := 0; i < w; i++ {
+			layer = append(layer, b.AddNode(uniformCost(rng, meanNodeCost, 2)))
+		}
+		layers = append(layers, layer)
+		placed += w
+	}
+
+	cm := commMean(ccr)
+	type edgeKey struct{ u, v dag.NodeID }
+	added := map[edgeKey]bool{}
+	addEdge := func(u, v dag.NodeID) {
+		if added[edgeKey{u, v}] {
+			return
+		}
+		added[edgeKey{u, v}] = true
+		b.AddEdge(u, v, uniformCost(rng, cm, 1))
+	}
+	// Backbone: each node in layer k>0 draws one parent from layer k-1,
+	// which keeps the realized width near the layer widths.
+	for k := 1; k < len(layers); k++ {
+		prev := layers[k-1]
+		for _, n := range layers[k] {
+			addEdge(prev[rng.Intn(len(prev))], n)
+		}
+	}
+	// Extra RGBOS-style edges toward random later layers (mean fanout
+	// v/10, as in section 5.2).
+	maxFan := int(float64(v)/5) + 1
+	for k := 0; k+1 < len(layers); k++ {
+		for _, u := range layers[k] {
+			kids := rng.Intn(maxFan)
+			for e := 0; e < kids; e++ {
+				tl := k + 1 + rng.Intn(len(layers)-k-1)
+				addEdge(u, layers[tl][rng.Intn(len(layers[tl]))])
+			}
+		}
+	}
+	return b.MustBuild()
+}

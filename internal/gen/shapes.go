@@ -1,0 +1,105 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dag"
+)
+
+// The shape generators below produce the special-structure graphs that
+// the paper's taxonomy (section 4) identifies as the restricted cases
+// earlier algorithms were built for: trees, fork-joins, and chains. They
+// feed the examples and the ablation benchmarks.
+
+// OutTree builds a complete out-tree (every node spawns `branch`
+// children) of the given depth. Costs are drawn from the suite
+// distributions with the given CCR.
+func OutTree(rng *rand.Rand, depth, branch int, ccr float64) (*dag.Graph, error) {
+	if depth < 1 || branch < 1 {
+		return nil, fmt.Errorf("gen: OutTree needs depth, branch >= 1 (got %d, %d)", depth, branch)
+	}
+	b := dag.NewBuilder()
+	cm := commMean(ccr)
+	level := []dag.NodeID{b.AddNode(uniformCost(rng, meanNodeCost, 2))}
+	for d := 1; d < depth; d++ {
+		var next []dag.NodeID
+		for _, parent := range level {
+			for c := 0; c < branch; c++ {
+				child := b.AddNode(uniformCost(rng, meanNodeCost, 2))
+				b.AddEdge(parent, child, uniformCost(rng, cm, 1))
+				next = append(next, child)
+			}
+		}
+		level = next
+	}
+	return b.Build()
+}
+
+// InTree builds the mirror image of OutTree: leaves reduce toward a
+// single root, the classic join-dominated workload.
+func InTree(rng *rand.Rand, depth, branch int, ccr float64) (*dag.Graph, error) {
+	if depth < 1 || branch < 1 {
+		return nil, fmt.Errorf("gen: InTree needs depth, branch >= 1 (got %d, %d)", depth, branch)
+	}
+	b := dag.NewBuilder()
+	cm := commMean(ccr)
+	// Width of the leaf level.
+	width := 1
+	for d := 1; d < depth; d++ {
+		width *= branch
+	}
+	level := make([]dag.NodeID, width)
+	for i := range level {
+		level[i] = b.AddNode(uniformCost(rng, meanNodeCost, 2))
+	}
+	for len(level) > 1 {
+		var next []dag.NodeID
+		for i := 0; i < len(level); i += branch {
+			parent := b.AddNode(uniformCost(rng, meanNodeCost, 2))
+			for j := i; j < i+branch && j < len(level); j++ {
+				b.AddEdge(level[j], parent, uniformCost(rng, cm, 1))
+			}
+			next = append(next, parent)
+		}
+		level = next
+	}
+	return b.Build()
+}
+
+// ForkJoin builds `stages` consecutive fork-join diamonds of the given
+// width — the prototypical data-parallel loop nest.
+func ForkJoin(rng *rand.Rand, stages, width int, ccr float64) (*dag.Graph, error) {
+	if stages < 1 || width < 1 {
+		return nil, fmt.Errorf("gen: ForkJoin needs stages, width >= 1 (got %d, %d)", stages, width)
+	}
+	b := dag.NewBuilder()
+	cm := commMean(ccr)
+	join := b.AddNode(uniformCost(rng, meanNodeCost, 2))
+	for s := 0; s < stages; s++ {
+		fork := join
+		join = b.AddNode(uniformCost(rng, meanNodeCost, 2))
+		for w := 0; w < width; w++ {
+			mid := b.AddNode(uniformCost(rng, meanNodeCost, 2))
+			b.AddEdge(fork, mid, uniformCost(rng, cm, 1))
+			b.AddEdge(mid, join, uniformCost(rng, cm, 1))
+		}
+	}
+	return b.Build()
+}
+
+// Chain builds a linear pipeline of the given length.
+func Chain(rng *rand.Rand, length int, ccr float64) (*dag.Graph, error) {
+	if length < 1 {
+		return nil, fmt.Errorf("gen: Chain needs length >= 1, got %d", length)
+	}
+	b := dag.NewBuilder()
+	cm := commMean(ccr)
+	prev := b.AddNode(uniformCost(rng, meanNodeCost, 2))
+	for i := 1; i < length; i++ {
+		n := b.AddNode(uniformCost(rng, meanNodeCost, 2))
+		b.AddEdge(prev, n, uniformCost(rng, cm, 1))
+		prev = n
+	}
+	return b.Build()
+}

@@ -1,0 +1,141 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dag"
+)
+
+// Cholesky builds the task graph of column-oriented Cholesky
+// factorization of an N x N matrix — the traced-graph (TG) suite of the
+// paper (section 5.5), which obtained these DAGs from a parallelizing
+// compiler. The dependence structure of column Cholesky is fully
+// determined by the algorithm, so generating it analytically yields the
+// same graph family:
+//
+//   - cdiv(k), k = 1..N: factor column k (entry for k = 1);
+//     cdiv(k) depends on every update cmod(k, j) with j < k.
+//   - cmod(k, j), j < k: update column k with factored column j;
+//     depends on cdiv(j).
+//
+// Task count is N + N(N-1)/2 = O(N^2), matching the paper's note that a
+// matrix of dimension N yields a graph of size O(N^2).
+//
+// Costs follow the operation counts of the kernels on columns of length
+// N-k+1 (scaled to the suite's mean-40 cost units), and each message
+// carries a column, so its cost is proportional to the column length
+// times the requested CCR.
+func Cholesky(n int, ccr float64) (*dag.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: Cholesky needs N >= 1, got %d", n)
+	}
+	b := dag.NewBuilder()
+	cdiv := make([]dag.NodeID, n+1)
+	const unit = 8 // cost scale: keeps weights in the suite's usual range
+	colLen := func(k int) int64 { return int64(n - k + 1) }
+	commCost := func(k int) int64 {
+		c := int64(math.Round(float64(colLen(k)) * unit * ccr))
+		if c < 1 {
+			c = 1
+		}
+		return c
+	}
+	for k := 1; k <= n; k++ {
+		cdiv[k] = b.AddLabeledNode(colLen(k)*unit, fmt.Sprintf("cdiv%d", k))
+	}
+	for k := 2; k <= n; k++ {
+		for j := 1; j < k; j++ {
+			cmod := b.AddLabeledNode(colLen(k)*2*unit, fmt.Sprintf("cmod%d_%d", k, j))
+			b.AddEdge(cdiv[j], cmod, commCost(j))
+			b.AddEdge(cmod, cdiv[k], commCost(k))
+		}
+	}
+	return b.Build()
+}
+
+// GaussianElimination builds the task graph of Gaussian elimination
+// without pivoting on an N x N matrix, a second traced-graph family
+// commonly used in the scheduling literature:
+//
+//   - pivot(k): prepare row k (divide by the pivot);
+//   - update(k, i), i > k: eliminate row i using row k; depends on
+//     pivot(k) and on update(k-1, i).
+func GaussianElimination(n int, ccr float64) (*dag.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: GaussianElimination needs N >= 1, got %d", n)
+	}
+	b := dag.NewBuilder()
+	const unit = 8
+	rowLen := func(k int) int64 { return int64(n - k + 1) }
+	commCost := func(k int) int64 {
+		c := int64(math.Round(float64(rowLen(k)) * unit * ccr))
+		if c < 1 {
+			c = 1
+		}
+		return c
+	}
+	// prevUpdate[i] is the update task of row i from the previous step.
+	prevUpdate := make([]dag.NodeID, n+1)
+	for i := range prevUpdate {
+		prevUpdate[i] = dag.None
+	}
+	for k := 1; k < n; k++ {
+		pivot := b.AddLabeledNode(rowLen(k)*unit, fmt.Sprintf("piv%d", k))
+		if prevUpdate[k] != dag.None {
+			b.AddEdge(prevUpdate[k], pivot, commCost(k))
+		}
+		for i := k + 1; i <= n; i++ {
+			upd := b.AddLabeledNode(rowLen(k)*2*unit, fmt.Sprintf("upd%d_%d", k, i))
+			b.AddEdge(pivot, upd, commCost(k))
+			if prevUpdate[i] != dag.None {
+				b.AddEdge(prevUpdate[i], upd, commCost(k))
+			}
+			prevUpdate[i] = upd
+		}
+	}
+	if n == 1 {
+		b.AddLabeledNode(unit, "piv1")
+	}
+	return b.Build()
+}
+
+// FFT builds the butterfly task graph of an N-point fast Fourier
+// transform (N must be a power of two): log2(N) ranks of N/2 butterfly
+// tasks plus N input tasks.
+func FFT(points int, ccr float64) (*dag.Graph, error) {
+	if points < 2 || points&(points-1) != 0 {
+		return nil, fmt.Errorf("gen: FFT needs a power-of-two point count, got %d", points)
+	}
+	b := dag.NewBuilder()
+	const unit = 20
+	comm := int64(math.Round(unit * ccr))
+	if comm < 1 {
+		comm = 1
+	}
+	// current[i] produces the value at position i of the current rank.
+	current := make([]dag.NodeID, points)
+	for i := range current {
+		current[i] = b.AddLabeledNode(unit, fmt.Sprintf("in%d", i))
+	}
+	for span := 1; span < points; span *= 2 {
+		next := make([]dag.NodeID, points)
+		for i := 0; i < points; i++ {
+			partner := i ^ span
+			if i < partner {
+				bf := b.AddLabeledNode(2*unit, fmt.Sprintf("bf%d_%d", span, i))
+				b.AddEdge(current[i], bf, comm)
+				b.AddEdge(current[partner], bf, comm)
+				next[i] = bf
+			}
+		}
+		for i := 0; i < points; i++ {
+			partner := i ^ span
+			if i > partner {
+				next[i] = next[partner]
+			}
+		}
+		current = next
+	}
+	return b.Build()
+}

@@ -1,0 +1,467 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/sched"
+)
+
+// linkKey identifies one directed channel of an undirected link.
+type linkKey struct {
+	from, to int32
+}
+
+// edgeKey identifies one task-graph edge whose message has been committed.
+type edgeKey struct {
+	parent, child dag.NodeID
+}
+
+// hopRes is one committed or planned link reservation of a message.
+type hopRes struct {
+	link   linkKey
+	start  int64
+	finish int64
+}
+
+// Schedule is a task-and-message schedule on an arbitrary processor
+// network. Tasks occupy processor timelines exactly as in the clique
+// model; in addition, every cross-processor message occupies each
+// directed link channel on its (deterministic shortest) route for the
+// full edge cost, store-and-forward, with insertion-based slot search.
+type Schedule struct {
+	g      *dag.Graph
+	topo   *Topology
+	procs  []sched.Timeline
+	links  map[linkKey]*sched.Timeline
+	msgs   map[edgeKey][]hopRes
+	proc   []int32
+	start  []int64
+	finish []int64
+	placed int
+}
+
+// NewSchedule returns an empty schedule for g on the given topology.
+func NewSchedule(g *dag.Graph, topo *Topology) *Schedule {
+	n := g.NumNodes()
+	s := &Schedule{
+		g:      g,
+		topo:   topo,
+		procs:  make([]sched.Timeline, topo.NumProcs()),
+		links:  make(map[linkKey]*sched.Timeline),
+		msgs:   make(map[edgeKey][]hopRes),
+		proc:   make([]int32, n),
+		start:  make([]int64, n),
+		finish: make([]int64, n),
+	}
+	for i := range s.proc {
+		s.proc[i] = -1
+	}
+	return s
+}
+
+// Graph returns the task graph being scheduled.
+func (s *Schedule) Graph() *dag.Graph { return s.g }
+
+// Topology returns the processor network.
+func (s *Schedule) Topology() *Topology { return s.topo }
+
+// NumProcs returns the number of processors.
+func (s *Schedule) NumProcs() int { return s.topo.NumProcs() }
+
+// IsScheduled reports whether node n has been placed.
+func (s *Schedule) IsScheduled(n dag.NodeID) bool { return s.proc[n] >= 0 }
+
+// Complete reports whether all nodes are placed.
+func (s *Schedule) Complete() bool { return s.placed == s.g.NumNodes() }
+
+// Placed returns the number of placed nodes.
+func (s *Schedule) Placed() int { return s.placed }
+
+// ProcOf returns the processor of n, or -1 when unscheduled.
+func (s *Schedule) ProcOf(n dag.NodeID) int { return int(s.proc[n]) }
+
+// StartOf returns the start time of a scheduled node.
+func (s *Schedule) StartOf(n dag.NodeID) int64 { return s.start[n] }
+
+// FinishOf returns the finish time of a scheduled node.
+func (s *Schedule) FinishOf(n dag.NodeID) int64 { return s.finish[n] }
+
+// Slots returns the task timeline of processor p.
+func (s *Schedule) Slots(p int) []sched.Slot { return s.procs[p].Slots() }
+
+// LinkSlots returns the message reservations on the directed channel
+// from processor u to its neighbor v, in start order. Nil when the
+// channel carries no messages. The Slot.Node field holds the receiving
+// task of each message.
+func (s *Schedule) LinkSlots(u, v int) []sched.Slot {
+	tl := s.links[linkKey{int32(u), int32(v)}]
+	if tl == nil {
+		return nil
+	}
+	return tl.Slots()
+}
+
+func (s *Schedule) linkTimeline(k linkKey) *sched.Timeline {
+	tl := s.links[k]
+	if tl == nil {
+		tl = &sched.Timeline{}
+		s.links[k] = tl
+	}
+	return tl
+}
+
+// planEdge tentatively routes the message for edge (parent -> child of
+// weight c) to destination processor dst, on top of the overlay of hops
+// already planned in this query. It returns the data arrival time at dst
+// and the planned hops (nil when no link time is needed).
+func (s *Schedule) planEdge(parent dag.NodeID, c int64, dst int, overlay []hopRes) (int64, []hopRes) {
+	src := int(s.proc[parent])
+	ready := s.finish[parent]
+	if src == dst || c == 0 {
+		return ready, nil
+	}
+	route := s.topo.Route(src, dst)
+	hops := make([]hopRes, 0, len(route)-1)
+	for i := 0; i+1 < len(route); i++ {
+		k := linkKey{int32(route[i]), int32(route[i+1])}
+		start := s.earliestLinkFit(k, overlay, ready, c)
+		hops = append(hops, hopRes{link: k, start: start, finish: start + c})
+		overlay = append(overlay, hops[len(hops)-1])
+		ready = start + c
+	}
+	return ready, hops
+}
+
+// earliestLinkFit finds the earliest start >= ready for a reservation of
+// the given duration on channel k, considering both committed slots and
+// the overlay of hops planned earlier in the same query.
+func (s *Schedule) earliestLinkFit(k linkKey, overlay []hopRes, ready, duration int64) int64 {
+	var base []sched.Slot
+	if tl := s.links[k]; tl != nil {
+		base = tl.Slots()
+	}
+	var extra []sched.Slot
+	for _, h := range overlay {
+		if h.link == k {
+			extra = append(extra, sched.Slot{Start: h.start, Finish: h.finish})
+		}
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i].Start < extra[j].Start })
+	// Two-pointer gap scan over the merged slot streams: return the first
+	// point cur >= ready such that [cur, cur+duration) hits no slot.
+	cur := ready
+	i, j := 0, 0
+	for i < len(base) || j < len(extra) {
+		var next sched.Slot
+		if j >= len(extra) || (i < len(base) && base[i].Start <= extra[j].Start) {
+			next = base[i]
+			i++
+		} else {
+			next = extra[j]
+			j++
+		}
+		if next.Start-cur >= duration {
+			return cur
+		}
+		if next.Finish > cur {
+			cur = next.Finish
+		}
+	}
+	return cur
+}
+
+// edgePlan is the planned reservation chain of one inbound edge.
+type edgePlan struct {
+	key  edgeKey
+	hops []hopRes
+}
+
+// planInbound plans the messages from all of n's parents to processor p
+// in a deterministic order (parents by ascending finish time, then ID)
+// and returns the overall data-ready time plus the per-edge hop plan.
+// ok is false when some parent is unscheduled.
+func (s *Schedule) planInbound(n dag.NodeID, p int) (drt int64, plan []edgePlan, ok bool) {
+	preds := s.g.Preds(n)
+	for _, pr := range preds {
+		if s.proc[pr.To] < 0 {
+			return 0, nil, false
+		}
+	}
+	order := make([]dag.Arc, len(preds))
+	copy(order, preds)
+	sort.Slice(order, func(i, j int) bool {
+		fi, fj := s.finish[order[i].To], s.finish[order[j].To]
+		if fi != fj {
+			return fi < fj
+		}
+		return order[i].To < order[j].To
+	})
+	var overlay []hopRes
+	for _, pr := range order {
+		arrival, hops := s.planEdge(pr.To, pr.Weight, p, overlay)
+		if len(hops) > 0 {
+			overlay = append(overlay, hops...)
+			plan = append(plan, edgePlan{key: edgeKey{pr.To, n}, hops: hops})
+		}
+		if arrival > drt {
+			drt = arrival
+		}
+	}
+	return drt, plan, true
+}
+
+// DataReady returns the earliest time node n's inputs can all be present
+// on processor p, planning (but not committing) the necessary messages.
+// ok is false when a parent is unscheduled.
+func (s *Schedule) DataReady(n dag.NodeID, p int) (int64, bool) {
+	drt, _, ok := s.planInbound(n, p)
+	return drt, ok
+}
+
+// ESTOn returns the earliest start time of n on processor p under the
+// routed message model.
+func (s *Schedule) ESTOn(n dag.NodeID, p int, insertion bool) (int64, bool) {
+	drt, _, ok := s.planInbound(n, p)
+	if !ok {
+		return 0, false
+	}
+	return s.procs[p].EarliestFit(drt, s.g.Weight(n), insertion), true
+}
+
+// BestEST returns the processor with the smallest EST for n, ties toward
+// lower processor indices.
+func (s *Schedule) BestEST(n dag.NodeID, insertion bool) (proc int, est int64, ok bool) {
+	proc = -1
+	for p := 0; p < s.NumProcs(); p++ {
+		e, k := s.ESTOn(n, p, insertion)
+		if !k {
+			return -1, 0, false
+		}
+		if proc == -1 || e < est {
+			proc, est = p, e
+		}
+	}
+	return proc, est, true
+}
+
+// Place schedules n on processor p at the given start time, committing
+// the message reservations of all inbound edges. The start time must be
+// at or after the planned data-ready time.
+func (s *Schedule) Place(n dag.NodeID, p int, start int64) error {
+	if s.proc[n] >= 0 {
+		return fmt.Errorf("machine: node %d already scheduled", n)
+	}
+	if p < 0 || p >= s.NumProcs() {
+		return fmt.Errorf("machine: processor %d out of range", p)
+	}
+	if start < 0 {
+		return fmt.Errorf("machine: negative start time %d", start)
+	}
+	drt, plan, ok := s.planInbound(n, p)
+	if !ok {
+		return fmt.Errorf("machine: node %d has unscheduled parents", n)
+	}
+	if start < drt {
+		return fmt.Errorf("machine: node %d start %d before data-ready %d on P%d", n, start, drt, p)
+	}
+	if err := s.procs[p].Insert(sched.Slot{Node: n, Start: start, Finish: start + s.g.Weight(n)}); err != nil {
+		return fmt.Errorf("machine: node %d on P%d: %w", n, p, err)
+	}
+	for _, ep := range plan {
+		s.msgs[ep.key] = ep.hops
+		for _, h := range ep.hops {
+			if err := s.linkTimeline(h.link).Insert(sched.Slot{Node: n, Start: h.start, Finish: h.finish}); err != nil {
+				panic(fmt.Sprintf("machine: internal link conflict: %v", err))
+			}
+		}
+	}
+	s.proc[n] = int32(p)
+	s.start[n] = start
+	s.finish[n] = start + s.g.Weight(n)
+	s.placed++
+	return nil
+}
+
+// MustPlace is Place that panics on error, for use by schedulers after a
+// successful EST query.
+func (s *Schedule) MustPlace(n dag.NodeID, p int, start int64) {
+	if err := s.Place(n, p, start); err != nil {
+		panic(err)
+	}
+}
+
+// Unplace removes n and its inbound message reservations. It returns an
+// error when a child of n is already scheduled, because the child's
+// committed messages would become dangling.
+func (s *Schedule) Unplace(n dag.NodeID) error {
+	p := s.proc[n]
+	if p < 0 {
+		return nil
+	}
+	for _, a := range s.g.Succs(n) {
+		if s.proc[a.To] >= 0 {
+			return fmt.Errorf("machine: cannot unplace node %d: child %d is scheduled", n, a.To)
+		}
+	}
+	s.procs[p].Remove(n, s.start[n])
+	for _, pr := range s.g.Preds(n) {
+		key := edgeKey{pr.To, n}
+		for _, h := range s.msgs[key] {
+			s.linkTimeline(h.link).Remove(n, h.start)
+		}
+		delete(s.msgs, key)
+	}
+	s.proc[n] = -1
+	s.start[n] = 0
+	s.finish[n] = 0
+	s.placed--
+	return nil
+}
+
+// Length returns the makespan: the latest task finish time.
+func (s *Schedule) Length() int64 {
+	var max int64
+	for i := range s.procs {
+		if f := s.procs[i].LastFinish(); f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// ProcessorsUsed returns the number of processors running at least one
+// task.
+func (s *Schedule) ProcessorsUsed() int {
+	used := 0
+	for i := range s.procs {
+		if s.procs[i].Len() > 0 {
+			used++
+		}
+	}
+	return used
+}
+
+// NSL returns the normalized schedule length (makespan over the CP
+// computation sum), as in the clique model.
+func (s *Schedule) NSL() float64 {
+	den := dag.CPComputationSum(s.g)
+	if den == 0 {
+		return 0
+	}
+	return float64(s.Length()) / float64(den)
+}
+
+// Validate checks processor timelines, link timelines, and that every
+// scheduled node starts only after all parent data has arrived — locally
+// for co-located parents, and through a complete, route-consistent chain
+// of link reservations for remote parents.
+func (s *Schedule) Validate() error {
+	for p := range s.procs {
+		if err := s.procs[p].Validate(); err != nil {
+			return fmt.Errorf("machine: P%d: %w", p, err)
+		}
+		for _, sl := range s.procs[p].Slots() {
+			if sl.Finish-sl.Start != s.g.Weight(sl.Node) {
+				return fmt.Errorf("machine: node %d duration mismatch", sl.Node)
+			}
+			if s.proc[sl.Node] != int32(p) || s.start[sl.Node] != sl.Start {
+				return fmt.Errorf("machine: node %d slot disagrees with placement arrays", sl.Node)
+			}
+		}
+	}
+	for k, tl := range s.links {
+		if err := tl.Validate(); err != nil {
+			return fmt.Errorf("machine: link %d->%d: %w", k.from, k.to, err)
+		}
+	}
+	count := 0
+	for v := 0; v < s.g.NumNodes(); v++ {
+		n := dag.NodeID(v)
+		if s.proc[n] < 0 {
+			continue
+		}
+		count++
+		for _, pr := range s.g.Preds(n) {
+			if s.proc[pr.To] < 0 {
+				return fmt.Errorf("machine: node %d scheduled before parent %d", n, pr.To)
+			}
+			if err := s.validateEdge(pr.To, n, pr.Weight); err != nil {
+				return err
+			}
+		}
+	}
+	if count != s.placed {
+		return fmt.Errorf("machine: placed counter %d != %d", s.placed, count)
+	}
+	return nil
+}
+
+func (s *Schedule) validateEdge(parent, child dag.NodeID, c int64) error {
+	srcP, dstP := int(s.proc[parent]), int(s.proc[child])
+	if srcP == dstP || c == 0 {
+		if s.start[child] < s.finish[parent] {
+			return fmt.Errorf("machine: node %d starts before parent %d finishes", child, parent)
+		}
+		return nil
+	}
+	hops := s.msgs[edgeKey{parent, child}]
+	route := s.topo.Route(srcP, dstP)
+	if len(hops) != len(route)-1 {
+		return fmt.Errorf("machine: edge (%d,%d) has %d hops, route needs %d",
+			parent, child, len(hops), len(route)-1)
+	}
+	prev := s.finish[parent]
+	for i, h := range hops {
+		want := linkKey{int32(route[i]), int32(route[i+1])}
+		if h.link != want {
+			return fmt.Errorf("machine: edge (%d,%d) hop %d uses link %d->%d, route says %d->%d",
+				parent, child, i, h.link.from, h.link.to, want.from, want.to)
+		}
+		if h.start < prev {
+			return fmt.Errorf("machine: edge (%d,%d) hop %d starts %d before data ready %d",
+				parent, child, i, h.start, prev)
+		}
+		if h.finish-h.start != c {
+			return fmt.Errorf("machine: edge (%d,%d) hop %d duration %d != cost %d",
+				parent, child, i, h.finish-h.start, c)
+		}
+		found := false
+		if tl := s.links[h.link]; tl != nil {
+			for _, sl := range tl.Slots() {
+				if sl.Node == child && sl.Start == h.start {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			return fmt.Errorf("machine: edge (%d,%d) hop %d reservation missing from link timeline",
+				parent, child, i)
+		}
+		prev = h.finish
+	}
+	if s.start[child] < prev {
+		return fmt.Errorf("machine: node %d starts %d before message from %d arrives %d",
+			child, s.start[child], parent, prev)
+	}
+	return nil
+}
+
+// String renders processor timelines and non-empty link channels.
+func (s *Schedule) String() string {
+	out := fmt.Sprintf("apn schedule length=%d procs=%d topo=%s\n",
+		s.Length(), s.ProcessorsUsed(), s.topo.Name())
+	for p := range s.procs {
+		if s.procs[p].Len() == 0 {
+			continue
+		}
+		out += fmt.Sprintf("P%d:", p)
+		for _, sl := range s.procs[p].Slots() {
+			out += fmt.Sprintf(" n%d[%d,%d)", sl.Node, sl.Start, sl.Finish)
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package machine
+
+import "fmt"
+
+// Torus returns the rows x cols 2-D torus: a mesh with wraparound links
+// in both dimensions (needs at least 3 rows and 3 columns so wraparound
+// links do not duplicate mesh links).
+func Torus(rows, cols int) *Topology {
+	if rows < 3 || cols < 3 {
+		panic(fmt.Sprintf("machine: torus needs rows, cols >= 3 (got %d x %d)", rows, cols))
+	}
+	var links [][2]int
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			links = append(links, [2]int{id(r, c), id(r, (c+1)%cols)})
+			links = append(links, [2]int{id(r, c), id((r+1)%rows, c)})
+		}
+	}
+	t, err := newTopology(rows*cols, links, fmt.Sprintf("torus-%dx%d", rows, cols))
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// BinaryTree returns a complete binary tree of the given number of
+// levels: 2^levels - 1 processors with processor 0 as the root.
+func BinaryTree(levels int) *Topology {
+	if levels < 1 {
+		panic(fmt.Sprintf("machine: binary tree needs levels >= 1, got %d", levels))
+	}
+	n := (1 << levels) - 1
+	var links [][2]int
+	for p := 0; p < n; p++ {
+		if l := 2*p + 1; l < n {
+			links = append(links, [2]int{p, l})
+		}
+		if r := 2*p + 2; r < n {
+			links = append(links, [2]int{p, r})
+		}
+	}
+	t, err := newTopology(n, links, fmt.Sprintf("btree-%d", n))
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,165 @@
+package machine
+
+import (
+	"testing"
+)
+
+func TestTopologyConstructions(t *testing.T) {
+	cases := []struct {
+		name      string
+		topo      *Topology
+		wantProcs int
+		wantLinks int
+	}{
+		{"ring-6", Ring(6), 6, 6},
+		{"chain-5", Chain(5), 5, 4},
+		{"mesh-2x3", Mesh(2, 3), 6, 7},
+		{"hypercube-8", Hypercube(3), 8, 12},
+		{"star-5", Star(5), 5, 4},
+		{"clique-4", Clique(4), 4, 6},
+		{"clique-1", Clique(1), 1, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.topo.NumProcs(); got != tc.wantProcs {
+				t.Errorf("NumProcs = %d, want %d", got, tc.wantProcs)
+			}
+			if got := tc.topo.NumLinks(); got != tc.wantLinks {
+				t.Errorf("NumLinks = %d, want %d", got, tc.wantLinks)
+			}
+			if tc.topo.Name() == "" {
+				t.Error("empty topology name")
+			}
+		})
+	}
+}
+
+func TestTopologyErrors(t *testing.T) {
+	if _, err := NewTopology(0, nil); err == nil {
+		t.Error("accepted zero processors")
+	}
+	if _, err := NewTopology(3, [][2]int{{0, 1}}); err == nil {
+		t.Error("accepted disconnected topology")
+	}
+	if _, err := NewTopology(2, [][2]int{{0, 0}}); err == nil {
+		t.Error("accepted self-link")
+	}
+	if _, err := NewTopology(2, [][2]int{{0, 1}, {1, 0}}); err == nil {
+		t.Error("accepted duplicate link")
+	}
+	if _, err := NewTopology(2, [][2]int{{0, 5}}); err == nil {
+		t.Error("accepted out-of-range link")
+	}
+}
+
+func TestDistProperties(t *testing.T) {
+	topos := []*Topology{Ring(7), Mesh(3, 4), Hypercube(4), Star(6), Chain(8)}
+	for _, topo := range topos {
+		n := topo.NumProcs()
+		for u := 0; u < n; u++ {
+			if topo.Dist(u, u) != 0 {
+				t.Errorf("%s: Dist(%d,%d) != 0", topo.Name(), u, u)
+			}
+			for v := 0; v < n; v++ {
+				if topo.Dist(u, v) != topo.Dist(v, u) {
+					t.Errorf("%s: asymmetric dist (%d,%d)", topo.Name(), u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestHypercubeDistIsHamming(t *testing.T) {
+	topo := Hypercube(4)
+	for u := 0; u < 16; u++ {
+		for v := 0; v < 16; v++ {
+			want := popcount(u ^ v)
+			if got := topo.Dist(u, v); got != want {
+				t.Fatalf("Dist(%d,%d) = %d, want hamming %d", u, v, got, want)
+			}
+		}
+	}
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		c += x & 1
+		x >>= 1
+	}
+	return c
+}
+
+func TestRingDist(t *testing.T) {
+	topo := Ring(8)
+	if d := topo.Dist(0, 4); d != 4 {
+		t.Errorf("Dist(0,4) = %d, want 4", d)
+	}
+	if d := topo.Dist(0, 6); d != 2 {
+		t.Errorf("Dist(0,6) = %d, want 2 (wrap)", d)
+	}
+}
+
+func TestRoutesAreValidShortestPaths(t *testing.T) {
+	topos := []*Topology{Ring(6), Mesh(2, 4), Hypercube(3), Star(5), Clique(5)}
+	for _, topo := range topos {
+		n := topo.NumProcs()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				route := topo.Route(u, v)
+				if route[0] != u || route[len(route)-1] != v {
+					t.Fatalf("%s: route(%d,%d) endpoints wrong: %v", topo.Name(), u, v, route)
+				}
+				if len(route)-1 != topo.Dist(u, v) {
+					t.Fatalf("%s: route(%d,%d) length %d != dist %d",
+						topo.Name(), u, v, len(route)-1, topo.Dist(u, v))
+				}
+				for i := 0; i+1 < len(route); i++ {
+					if !adjacent(topo, route[i], route[i+1]) {
+						t.Fatalf("%s: route(%d,%d) hop %d-%d not adjacent",
+							topo.Name(), u, v, route[i], route[i+1])
+					}
+				}
+			}
+		}
+	}
+}
+
+func adjacent(t *Topology, u, v int) bool {
+	for _, nb := range t.Neighbors(u) {
+		if int(nb) == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRoutesDeterministic(t *testing.T) {
+	topo := Hypercube(3)
+	r1 := topo.Route(0, 7)
+	r2 := topo.Route(0, 7)
+	if len(r1) != len(r2) {
+		t.Fatal("route length changed between calls")
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("route not deterministic")
+		}
+	}
+}
+
+func TestDegreeAndNeighbors(t *testing.T) {
+	topo := Star(5)
+	if topo.Degree(0) != 4 {
+		t.Errorf("hub degree = %d, want 4", topo.Degree(0))
+	}
+	if topo.Degree(3) != 1 {
+		t.Errorf("leaf degree = %d, want 1", topo.Degree(3))
+	}
+	nb := topo.Neighbors(0)
+	for i := 1; i < len(nb); i++ {
+		if nb[i-1] >= nb[i] {
+			t.Error("neighbors not sorted ascending")
+		}
+	}
+}

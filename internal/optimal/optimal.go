@@ -1,0 +1,367 @@
+// Package optimal implements an exact branch-and-bound scheduler for the
+// clique machine model. The paper obtained optimal solutions for its
+// RGBOS benchmark suite (random graphs of 10–32 nodes) with a parallel
+// A* search [Kwok & Ahmad, "Optimal and Near-Optimal Allocation of
+// Precedence-Constrained Tasks to Parallel Processors"]; this package
+// plays that role with a sequential depth-first branch-and-bound using
+// the same admissible lower bounds.
+//
+// # Search space
+//
+// States are partial schedules grown append-only: at each step one ready
+// task (all parents scheduled) is appended to one processor at its
+// earliest start time there. This space always contains an optimal
+// schedule: replaying any optimal schedule in ascending start-time order
+// appends every task no later than its optimal start. Branching
+// considers every ready task on every non-empty processor plus exactly
+// one empty processor (empty processors are interchangeable — a cheap
+// symmetry reduction that removes a factorial factor).
+//
+// # Bounds
+//
+// A node is pruned when max(current length, critical-path bound, load
+// bound) reaches the incumbent:
+//
+//   - critical-path bound: earliest conceivable start of each unscheduled
+//     task (communication optimistically zero) plus its static level;
+//   - load bound: processors cannot finish before busy time plus
+//     remaining work spreads across them.
+//
+// The incumbent is seeded with heuristic schedules (MCP and DCP), so the
+// search only has to prove optimality or find rare improvements.
+package optimal
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/algo/bnp"
+	"repro/internal/algo/unc"
+	"repro/internal/dag"
+	"repro/internal/sched"
+)
+
+// Options configures the search.
+type Options struct {
+	// MaxExpansions caps the number of search-tree nodes expanded. 0
+	// means DefaultMaxExpansions. When the cap is hit the best schedule
+	// found so far is returned with Closed=false.
+	MaxExpansions int64
+	// UpperBound, when non-zero, seeds the incumbent: only schedules of
+	// length <= UpperBound are searched for. If none exists the Result
+	// carries a nil Schedule. When zero, MCP and DCP seed the incumbent.
+	UpperBound int64
+}
+
+// DefaultMaxExpansions bounds the search effort when Options.MaxExpansions
+// is zero. RGBOS-sized instances (10–32 nodes) close well within it.
+const DefaultMaxExpansions = 3_000_000
+
+// Result is the outcome of a search.
+type Result struct {
+	Schedule   *sched.Schedule // best schedule found
+	Length     int64           // its makespan
+	Closed     bool            // true when Length is proven optimal
+	Expansions int64           // search-tree nodes expanded
+}
+
+type searcher struct {
+	g          *dag.Graph
+	numProcs   int
+	s          *sched.Schedule
+	sl         []int64 // static levels
+	best       *sched.Schedule
+	bestLen    int64
+	expansions int64
+	maxExp     int64
+	truncated  bool
+	shared     *sharedIncumbent // non-nil only in parallel search
+	lbStart    []int64          // scratch for the critical-path bound
+	topo       []dag.NodeID
+	remaining  []int // unscheduled parent count
+	ready      []dag.NodeID
+}
+
+// Schedule finds a minimum-makespan schedule of g on numProcs identical
+// processors under the clique communication model.
+func Schedule(g *dag.Graph, numProcs int, opts Options) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("optimal: nil graph")
+	}
+	if numProcs < 1 {
+		return nil, fmt.Errorf("optimal: need at least one processor, got %d", numProcs)
+	}
+	if g.NumNodes() == 0 {
+		return &Result{Schedule: sched.New(g, numProcs), Closed: true}, nil
+	}
+
+	se := &searcher{
+		g:        g,
+		numProcs: numProcs,
+		s:        sched.New(g, numProcs),
+		sl:       dag.StaticLevels(g),
+		maxExp:   opts.MaxExpansions,
+		lbStart:  make([]int64, g.NumNodes()),
+		topo:     g.TopoOrder(),
+	}
+	if se.maxExp <= 0 {
+		se.maxExp = DefaultMaxExpansions
+	}
+
+	// Incumbent: the best schedule over every clique-model heuristic,
+	// unless the caller seeds a bound. A tight incumbent is what lets
+	// the communication-heavy (CCR 10) instances close.
+	se.bestLen = opts.UpperBound + 1
+	if opts.UpperBound <= 0 {
+		for _, h := range bnp.Algorithms() {
+			if m, err := h(g, numProcs); err == nil {
+				if se.best == nil || m.Length() < se.bestLen {
+					se.best, se.bestLen = m, m.Length()
+				}
+			}
+		}
+		for _, h := range unc.Algorithms() {
+			if d, err := h(g); err == nil && d.ProcessorsUsed() <= numProcs {
+				if dl := d.Length(); se.best == nil || dl < se.bestLen {
+					se.best, se.bestLen = compact(g, d, numProcs), dl
+				}
+			}
+		}
+		if se.best == nil {
+			m, err := bnp.HLFET(g, numProcs)
+			if err != nil {
+				return nil, err
+			}
+			se.best, se.bestLen = m, m.Length()
+		}
+	}
+
+	se.remaining = make([]int, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		se.remaining[v] = g.InDegree(dag.NodeID(v))
+		if se.remaining[v] == 0 {
+			se.ready = append(se.ready, dag.NodeID(v))
+		}
+	}
+	se.dfs()
+	return &Result{
+		Schedule:   se.best,
+		Length:     se.bestLen,
+		Closed:     !se.truncated,
+		Expansions: se.expansions,
+	}, nil
+}
+
+// compact re-homes a schedule that may use more processor slots than
+// numProcs but no more distinct processors; used to adopt UNC incumbents.
+func compact(g *dag.Graph, s *sched.Schedule, numProcs int) *sched.Schedule {
+	remap := map[int]int{}
+	out := sched.New(g, numProcs)
+	type placement struct {
+		n     dag.NodeID
+		p     int
+		start int64
+	}
+	var ps []placement
+	for v := 0; v < g.NumNodes(); v++ {
+		n := dag.NodeID(v)
+		p := s.ProcOf(n)
+		if _, ok := remap[p]; !ok {
+			remap[p] = len(remap)
+		}
+		ps = append(ps, placement{n, remap[p], s.StartOf(n)})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].start < ps[j].start })
+	for _, pl := range ps {
+		out.MustPlace(pl.n, pl.p, pl.start)
+	}
+	return out
+}
+
+func (se *searcher) dfs() {
+	if se.truncated {
+		return
+	}
+	if se.s.Complete() {
+		se.offerIncumbent()
+		return
+	}
+	if se.expansions >= se.maxExp {
+		se.truncated = true
+		return
+	}
+	se.expansions++
+	if se.lowerBound() >= se.effectiveBest() {
+		return
+	}
+
+	// Branch: every ready task on every non-empty processor plus the
+	// first empty one, ordered by EST so promising children go first.
+	for _, b := range se.branches() {
+		se.apply(b.n, b.p, b.est)
+		se.dfs()
+		se.undo(b.n)
+		if se.truncated {
+			return
+		}
+	}
+}
+
+func (se *searcher) apply(n dag.NodeID, p int, est int64) {
+	se.s.MustPlace(n, p, est)
+	for i, m := range se.ready {
+		if m == n {
+			se.ready = append(se.ready[:i], se.ready[i+1:]...)
+			break
+		}
+	}
+	for _, a := range se.g.Succs(n) {
+		se.remaining[a.To]--
+		if se.remaining[a.To] == 0 {
+			se.ready = append(se.ready, a.To)
+		}
+	}
+}
+
+func (se *searcher) undo(n dag.NodeID) {
+	for _, a := range se.g.Succs(n) {
+		if se.remaining[a.To] == 0 {
+			for i := len(se.ready) - 1; i >= 0; i-- {
+				if se.ready[i] == a.To {
+					se.ready = append(se.ready[:i], se.ready[i+1:]...)
+					break
+				}
+			}
+		}
+		se.remaining[a.To]++
+	}
+	se.s.Unplace(n)
+	se.ready = append(se.ready, n)
+}
+
+// lowerBound returns an admissible bound on the best completion time
+// reachable from the current partial schedule.
+func (se *searcher) lowerBound() int64 {
+	lb := se.s.Length()
+
+	// Critical-path bound. The recursion is optimistic about
+	// communication (a child might co-locate with any parent), except
+	// for the join refinement: a node can share a processor with at most
+	// one group of scheduled parents, so at least the second-largest
+	// arrival (counting communication from other processors) constrains
+	// its start.
+	for _, v := range se.topo {
+		if se.s.IsScheduled(v) {
+			se.lbStart[v] = se.s.StartOf(v)
+			continue
+		}
+		var t int64
+		for _, pr := range se.g.Preds(v) {
+			var f int64
+			if se.s.IsScheduled(pr.To) {
+				f = se.s.FinishOf(pr.To)
+			} else {
+				f = se.lbStart[pr.To] + se.g.Weight(pr.To)
+			}
+			if f > t {
+				t = f
+			}
+		}
+		if jb := se.joinBound(v); jb > t {
+			t = jb
+		}
+		se.lbStart[v] = t
+		if c := t + se.sl[v]; c > lb {
+			lb = c
+		}
+	}
+
+	// Load bound: busy-or-committed processor time plus remaining work,
+	// spread over all processors.
+	var committed int64
+	for p := 0; p < se.numProcs; p++ {
+		if slots := se.s.Slots(p); len(slots) > 0 {
+			committed += slots[len(slots)-1].Finish
+		}
+	}
+	var remainingWork int64
+	for v := 0; v < se.g.NumNodes(); v++ {
+		if !se.s.IsScheduled(dag.NodeID(v)) {
+			remainingWork += se.g.Weight(dag.NodeID(v))
+		}
+	}
+	if load := ceilDiv(committed+remainingWork, int64(se.numProcs)); load > lb {
+		lb = load
+	}
+	return lb
+}
+
+// joinBound lower-bounds the start of unscheduled node v from its
+// scheduled parents: v lands on some processor q, so it starts no
+// earlier than min over q of max(local finishes on q, remote arrivals
+// finish+c from elsewhere). The minimum is attained either on the
+// processor of the latest-arriving parent or on a fresh processor, so
+// two arrival maxima suffice.
+func (se *searcher) joinBound(v dag.NodeID) int64 {
+	var a1 int64 = -1 // largest arrival (finish + c) among scheduled parents
+	p1 := -1          // its processor
+	for _, pr := range se.g.Preds(v) {
+		if !se.s.IsScheduled(pr.To) {
+			continue
+		}
+		if arr := se.s.FinishOf(pr.To) + pr.Weight; arr > a1 {
+			a1 = arr
+			p1 = se.s.ProcOf(pr.To)
+		}
+	}
+	if p1 < 0 {
+		return 0
+	}
+	var a2, f1 int64 // max arrival off p1; max finish on p1
+	for _, pr := range se.g.Preds(v) {
+		if !se.s.IsScheduled(pr.To) {
+			continue
+		}
+		if se.s.ProcOf(pr.To) == p1 {
+			if f := se.s.FinishOf(pr.To); f > f1 {
+				f1 = f
+			}
+		} else if arr := se.s.FinishOf(pr.To) + pr.Weight; arr > a2 {
+			a2 = arr
+		}
+	}
+	onP1 := f1
+	if a2 > onP1 {
+		onP1 = a2
+	}
+	if a1 < onP1 {
+		return a1
+	}
+	return onP1
+}
+
+func ceilDiv(a, b int64) int64 {
+	return (a + b - 1) / b
+}
+
+// snapshot deep-copies the current partial schedule (which is complete
+// when called) into a fresh Schedule.
+func snapshot(s *sched.Schedule, numProcs int) *sched.Schedule {
+	g := s.Graph()
+	out := sched.New(g, numProcs)
+	type placement struct {
+		n     dag.NodeID
+		p     int
+		start int64
+	}
+	var ps []placement
+	for v := 0; v < g.NumNodes(); v++ {
+		n := dag.NodeID(v)
+		ps = append(ps, placement{n, s.ProcOf(n), s.StartOf(n)})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].start < ps[j].start })
+	for _, pl := range ps {
+		out.MustPlace(pl.n, pl.p, pl.start)
+	}
+	return out
+}

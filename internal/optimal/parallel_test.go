@@ -1,0 +1,105 @@
+package optimal
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dag"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 12; trial++ {
+		g := randomGraph(rng, 4+rng.Intn(7), 40)
+		for _, p := range []int{2, 4} {
+			seq, err := Schedule(g, p, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := ScheduleParallel(g, p, Options{}, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !seq.Closed || !par.Closed {
+				t.Fatalf("trial %d: searches did not close (seq=%v par=%v)",
+					trial, seq.Closed, par.Closed)
+			}
+			if seq.Length != par.Length {
+				t.Fatalf("trial %d p=%d: sequential %d != parallel %d",
+					trial, p, seq.Length, par.Length)
+			}
+			if par.Schedule == nil {
+				t.Fatalf("trial %d: parallel returned nil schedule", trial)
+			}
+			if err := par.Schedule.Validate(); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if par.Schedule.Length() != par.Length {
+				t.Fatalf("trial %d: schedule length %d != reported %d",
+					trial, par.Schedule.Length(), par.Length)
+			}
+		}
+	}
+}
+
+func TestParallelSingleWorkerDelegates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 6, 30)
+	seq, err := Schedule(g, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ScheduleParallel(g, 2, Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Length != par.Length {
+		t.Errorf("1-worker parallel %d != sequential %d", par.Length, seq.Length)
+	}
+}
+
+func TestParallelErrors(t *testing.T) {
+	if _, err := ScheduleParallel(nil, 2, Options{}, 4); err == nil {
+		t.Error("accepted nil graph")
+	}
+}
+
+func TestParallelUpperBoundInfeasible(t *testing.T) {
+	// Same setup as the sequential upper-bound test: optimum 4, bound 3.
+	bld := newFourTaskBuilder()
+	res, err := ScheduleParallel(bld, 2, Options{UpperBound: 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule != nil {
+		t.Errorf("found schedule of length %d under infeasible bound", res.Length)
+	}
+}
+
+func TestParallelDeterministicValue(t *testing.T) {
+	// Parallel search may return different optimal schedules between
+	// runs, but the optimal value must be stable.
+	rng := rand.New(rand.NewSource(41))
+	g := randomGraph(rng, 9, 60)
+	var lengths []int64
+	for i := 0; i < 3; i++ {
+		res, err := ScheduleParallel(g, 3, Options{}, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lengths = append(lengths, res.Length)
+	}
+	if lengths[0] != lengths[1] || lengths[1] != lengths[2] {
+		t.Errorf("optimal value varies across parallel runs: %v", lengths)
+	}
+}
+
+// newFourTaskBuilder builds 4 independent weight-2 tasks (optimum 4 on
+// two processors).
+func newFourTaskBuilder() *dag.Graph {
+	b := dag.NewBuilder()
+	for i := 0; i < 4; i++ {
+		b.AddNode(2)
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dag"
+)
+
+func builtSchedule(t *testing.T) (*dag.Graph, *Schedule) {
+	t.Helper()
+	g, ids := diamond(t)
+	s := New(g, 2)
+	s.MustPlace(ids[0], 0, 0)
+	s.MustPlace(ids[1], 0, 2)
+	s.MustPlace(ids[2], 1, 7)
+	s.MustPlace(ids[3], 1, 14)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g, s
+}
+
+func TestGanttRender(t *testing.T) {
+	_, s := builtSchedule(t)
+	var buf bytes.Buffer
+	if err := Gantt(&buf, s, 30); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "P0") || !strings.Contains(out, "P1") {
+		t.Errorf("Gantt missing processor rows:\n%s", out)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "d") {
+		t.Errorf("Gantt missing task glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, ".") {
+		t.Errorf("Gantt missing idle cells:\n%s", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	g, _ := diamond(t)
+	var buf bytes.Buffer
+	if err := Gantt(&buf, New(g, 2), 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Error("empty schedule not labelled")
+	}
+}
+
+func TestScheduleTextRoundTrip(t *testing.T) {
+	g, s := builtSchedule(t)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadText(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Length() != s.Length() {
+		t.Errorf("round trip length %d != %d", back.Length(), s.Length())
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		n := dag.NodeID(v)
+		if back.ProcOf(n) != s.ProcOf(n) || back.StartOf(n) != s.StartOf(n) {
+			t.Errorf("node %d placement changed in round trip", v)
+		}
+	}
+}
+
+func TestScheduleReadTextRejectsInvalid(t *testing.T) {
+	g, _ := diamond(t)
+	cases := map[string]string{
+		"missing header":   "place 0 0 0\n",
+		"unknown node":     "procs 2\nplace 9 0 0\n",
+		"bad directive":    "procs 2\nfrobnicate\n",
+		"overlap":          "procs 1\nplace 0 0 0\nplace 1 0 0\n",
+		"precedence break": "procs 2\nplace 1 0 0\n",
+		"empty":            "",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadText(strings.NewReader(src), g); err == nil {
+				t.Errorf("accepted %q", src)
+			}
+		})
+	}
+}
+
+func TestSpeedupAndEfficiency(t *testing.T) {
+	_, s := builtSchedule(t)
+	// Total computation 10, length 15: speedup 2/3, two processors used.
+	if sp := s.Speedup(); sp < 0.66 || sp > 0.67 {
+		t.Errorf("Speedup = %v, want 10/15", sp)
+	}
+	if e := s.Efficiency(); e < 0.33 || e > 0.34 {
+		t.Errorf("Efficiency = %v, want speedup/2", e)
+	}
+	g, _ := diamond(t)
+	empty := New(g, 2)
+	if empty.Speedup() != 0 || empty.Efficiency() != 0 {
+		t.Error("empty schedule should report zero speedup/efficiency")
+	}
+}

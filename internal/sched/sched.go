@@ -1,0 +1,308 @@
+// Package sched implements the processor-schedule model shared by the BNP
+// and UNC algorithm classes of Kwok & Ahmad (IPPS 1998): a set of
+// homogeneous processors that are fully connected by contention-free
+// links (the "clique" communication model). A message from a parent to a
+// child costs the edge weight when the two tasks are on different
+// processors and nothing when they are co-located.
+//
+// A Schedule maintains one timeline per processor plus per-node placement
+// arrays, supports insertion and non-insertion earliest-start-time
+// queries, placement and removal (for migration-style algorithms and
+// branch-and-bound backtracking), and full validation of precedence and
+// processor-exclusivity constraints.
+//
+// The APN class uses internal/machine instead, which schedules messages
+// on the links of an arbitrary topology.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+)
+
+// Slot is one contiguous task execution on a processor timeline.
+type Slot struct {
+	Node   dag.NodeID
+	Start  int64
+	Finish int64
+}
+
+// Schedule is a (possibly partial) mapping of tasks to processors and
+// start times under the clique communication model.
+type Schedule struct {
+	g      *dag.Graph
+	procs  []Timeline
+	proc   []int32 // node -> processor, -1 when unscheduled
+	start  []int64
+	finish []int64
+	placed int
+}
+
+// New returns an empty schedule for g on numProcs processors.
+// For UNC (unbounded-processor) algorithms pass numProcs equal to the
+// number of nodes: one task per cluster is the worst case.
+func New(g *dag.Graph, numProcs int) *Schedule {
+	if numProcs < 1 {
+		numProcs = 1
+	}
+	n := g.NumNodes()
+	s := &Schedule{
+		g:      g,
+		procs:  make([]Timeline, numProcs),
+		proc:   make([]int32, n),
+		start:  make([]int64, n),
+		finish: make([]int64, n),
+	}
+	for i := range s.proc {
+		s.proc[i] = -1
+	}
+	return s
+}
+
+// Graph returns the task graph this schedule is for.
+func (s *Schedule) Graph() *dag.Graph { return s.g }
+
+// NumProcs returns the number of processors available to the schedule.
+func (s *Schedule) NumProcs() int { return len(s.procs) }
+
+// IsScheduled reports whether node n has been placed.
+func (s *Schedule) IsScheduled(n dag.NodeID) bool { return s.proc[n] >= 0 }
+
+// Complete reports whether every node has been placed.
+func (s *Schedule) Complete() bool { return s.placed == s.g.NumNodes() }
+
+// Placed returns the number of nodes placed so far.
+func (s *Schedule) Placed() int { return s.placed }
+
+// ProcOf returns the processor of node n, or -1 if unscheduled.
+func (s *Schedule) ProcOf(n dag.NodeID) int { return int(s.proc[n]) }
+
+// StartOf returns the start time of a scheduled node.
+func (s *Schedule) StartOf(n dag.NodeID) int64 { return s.start[n] }
+
+// FinishOf returns the finish time of a scheduled node.
+func (s *Schedule) FinishOf(n dag.NodeID) int64 { return s.finish[n] }
+
+// Slots returns the timeline of processor p, sorted by start time. The
+// returned slice is shared with the schedule and must not be modified.
+func (s *Schedule) Slots(p int) []Slot { return s.procs[p].Slots() }
+
+// Place schedules node n on processor p starting at the given time. It
+// returns an error if n is already scheduled, the processor index or
+// start time is invalid, or the slot would overlap an existing one.
+// Place does not verify precedence feasibility; use Validate or the EST
+// helpers for that — heuristics deliberately query EST first.
+func (s *Schedule) Place(n dag.NodeID, p int, start int64) error {
+	if s.proc[n] >= 0 {
+		return fmt.Errorf("sched: node %d already scheduled", n)
+	}
+	if p < 0 || p >= len(s.procs) {
+		return fmt.Errorf("sched: processor %d out of range [0,%d)", p, len(s.procs))
+	}
+	if start < 0 {
+		return fmt.Errorf("sched: negative start time %d for node %d", start, n)
+	}
+	finish := start + s.g.Weight(n)
+	if err := s.procs[p].Insert(Slot{Node: n, Start: start, Finish: finish}); err != nil {
+		return fmt.Errorf("sched: node %d on P%d: %w", n, p, err)
+	}
+	s.proc[n] = int32(p)
+	s.start[n] = start
+	s.finish[n] = finish
+	s.placed++
+	return nil
+}
+
+// MustPlace is Place that panics on error; schedulers use it after they
+// have computed a start time from an EST query, where failure indicates
+// an algorithm bug rather than a user error.
+func (s *Schedule) MustPlace(n dag.NodeID, p int, start int64) {
+	if err := s.Place(n, p, start); err != nil {
+		panic(err)
+	}
+}
+
+// Unplace removes node n from the schedule so it can be migrated or the
+// search can backtrack. It is a no-op for unscheduled nodes.
+func (s *Schedule) Unplace(n dag.NodeID) {
+	p := s.proc[n]
+	if p < 0 {
+		return
+	}
+	s.procs[p].Remove(n, s.start[n])
+	s.proc[n] = -1
+	s.start[n] = 0
+	s.finish[n] = 0
+	s.placed--
+}
+
+// Length returns the schedule length (makespan): the latest finish time
+// over all processors, 0 for an empty schedule.
+func (s *Schedule) Length() int64 {
+	var max int64
+	for i := range s.procs {
+		if f := s.procs[i].LastFinish(); f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// ProcessorsUsed returns the number of processors with at least one task
+// (paper section 6.4.2).
+func (s *Schedule) ProcessorsUsed() int {
+	used := 0
+	for i := range s.procs {
+		if s.procs[i].Len() > 0 {
+			used++
+		}
+	}
+	return used
+}
+
+// DataReadyTime returns the earliest time all of n's input data can be
+// available on processor p: the max over parents of the parent's finish
+// time plus the edge cost if the parent sits on a different processor.
+// ok is false if some parent is not yet scheduled.
+func (s *Schedule) DataReadyTime(n dag.NodeID, p int) (drt int64, ok bool) {
+	for _, pr := range s.g.Preds(n) {
+		pp := s.proc[pr.To]
+		if pp < 0 {
+			return 0, false
+		}
+		arrival := s.finish[pr.To]
+		if int(pp) != p {
+			arrival += pr.Weight
+		}
+		if arrival > drt {
+			drt = arrival
+		}
+	}
+	return drt, true
+}
+
+// EnablingProc returns the processor choice that maximizes locality for
+// DataReadyTime: the processor of the parent whose message arrives last
+// (the "very important parent"). Scheduling n there removes that edge's
+// cost. Returns -1 when n has no scheduled parents.
+func (s *Schedule) EnablingProc(n dag.NodeID) int {
+	best := -1
+	var bestArrival int64 = -1
+	for _, pr := range s.g.Preds(n) {
+		pp := s.proc[pr.To]
+		if pp < 0 {
+			continue
+		}
+		arrival := s.finish[pr.To] + pr.Weight
+		if arrival > bestArrival {
+			bestArrival = arrival
+			best = int(pp)
+		}
+	}
+	return best
+}
+
+// ESTOn returns the earliest start time of node n on processor p.
+// With insertion enabled the earliest sufficient idle gap at or after the
+// data-ready time is used (MCP/ISH/DCP style); otherwise the node can
+// only go after the last task on p (HLFET/ETF/DLS style). ok is false if
+// a parent is unscheduled.
+func (s *Schedule) ESTOn(n dag.NodeID, p int, insertion bool) (est int64, ok bool) {
+	drt, ok := s.DataReadyTime(n, p)
+	if !ok {
+		return 0, false
+	}
+	return s.procs[p].EarliestFit(drt, s.g.Weight(n), insertion), true
+}
+
+// BestEST returns the processor giving the smallest EST for n over all
+// processors, breaking ties toward lower processor indices. ok is false
+// if a parent is unscheduled.
+func (s *Schedule) BestEST(n dag.NodeID, insertion bool) (proc int, est int64, ok bool) {
+	proc = -1
+	for p := range s.procs {
+		e, k := s.ESTOn(n, p, insertion)
+		if !k {
+			return -1, 0, false
+		}
+		if proc == -1 || e < est {
+			proc, est = p, e
+		}
+	}
+	return proc, est, true
+}
+
+// Validate checks that the partial or complete schedule is consistent:
+// every placed node's parents are placed, precedence plus communication
+// delays are respected under the clique model, timelines are sorted and
+// non-overlapping, and slot durations equal node weights.
+func (s *Schedule) Validate() error {
+	for p := range s.procs {
+		if err := s.procs[p].Validate(); err != nil {
+			return fmt.Errorf("sched: P%d: %w", p, err)
+		}
+		for _, sl := range s.procs[p].Slots() {
+			if sl.Finish-sl.Start != s.g.Weight(sl.Node) {
+				return fmt.Errorf("sched: node %d duration %d != weight %d",
+					sl.Node, sl.Finish-sl.Start, s.g.Weight(sl.Node))
+			}
+			if s.proc[sl.Node] != int32(p) || s.start[sl.Node] != sl.Start {
+				return fmt.Errorf("sched: node %d slot disagrees with placement arrays", sl.Node)
+			}
+		}
+	}
+	count := 0
+	for v := 0; v < s.g.NumNodes(); v++ {
+		n := dag.NodeID(v)
+		if s.proc[n] < 0 {
+			continue
+		}
+		count++
+		for _, pr := range s.g.Preds(n) {
+			if s.proc[pr.To] < 0 {
+				return fmt.Errorf("sched: node %d scheduled before parent %d", n, pr.To)
+			}
+			arrival := s.finish[pr.To]
+			if s.proc[pr.To] != s.proc[n] {
+				arrival += pr.Weight
+			}
+			if s.start[n] < arrival {
+				return fmt.Errorf("sched: node %d starts at %d before data from parent %d arrives at %d",
+					n, s.start[n], pr.To, arrival)
+			}
+		}
+	}
+	if count != s.placed {
+		return fmt.Errorf("sched: placed counter %d != %d placed nodes", s.placed, count)
+	}
+	return nil
+}
+
+// NSL returns the normalized schedule length: the makespan divided by the
+// sum of computation costs on a critical path (paper section 6). Only
+// meaningful for complete schedules; returns 0 when the denominator is 0.
+func (s *Schedule) NSL() float64 {
+	den := dag.CPComputationSum(s.g)
+	if den == 0 {
+		return 0
+	}
+	return float64(s.Length()) / float64(den)
+}
+
+// String renders the schedule as a compact per-processor listing, for
+// debugging and the cmd tools.
+func (s *Schedule) String() string {
+	out := fmt.Sprintf("schedule length=%d procs=%d\n", s.Length(), s.ProcessorsUsed())
+	for p := range s.procs {
+		if s.procs[p].Len() == 0 {
+			continue
+		}
+		out += fmt.Sprintf("P%d:", p)
+		for _, sl := range s.procs[p].Slots() {
+			out += fmt.Sprintf(" n%d[%d,%d)", sl.Node, sl.Start, sl.Finish)
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+)
+
+// Timeline is a sorted, non-overlapping sequence of slots on one
+// exclusive resource: a processor in this package, a network link in
+// internal/machine. The zero value is an empty timeline.
+type Timeline struct {
+	slots []Slot
+}
+
+// Len returns the number of slots.
+func (tl *Timeline) Len() int { return len(tl.slots) }
+
+// Slots returns the slots in start order. The slice is shared with the
+// timeline and must not be modified.
+func (tl *Timeline) Slots() []Slot { return tl.slots }
+
+// LastFinish returns the finish time of the final slot, 0 when empty.
+func (tl *Timeline) LastFinish() int64 {
+	if len(tl.slots) == 0 {
+		return 0
+	}
+	return tl.slots[len(tl.slots)-1].Finish
+}
+
+// EarliestFit returns the earliest start time >= ready at which a slot of
+// the given duration fits. With insertion enabled, idle gaps between
+// existing slots are considered (MCP/ISH/DCP style); otherwise only the
+// open-ended gap after the last slot is used (HLFET/ETF/DLS style).
+func (tl *Timeline) EarliestFit(ready, duration int64, insertion bool) int64 {
+	if len(tl.slots) == 0 {
+		return ready
+	}
+	if !insertion {
+		if last := tl.LastFinish(); last > ready {
+			return last
+		}
+		return ready
+	}
+	prevFinish := int64(0)
+	for i := 0; i < len(tl.slots); i++ {
+		gapStart := prevFinish
+		if gapStart < ready {
+			gapStart = ready
+		}
+		if tl.slots[i].Start-gapStart >= duration {
+			return gapStart
+		}
+		prevFinish = tl.slots[i].Finish
+	}
+	if prevFinish < ready {
+		return ready
+	}
+	return prevFinish
+}
+
+// Insert adds a slot, keeping the timeline sorted. It returns an error if
+// the slot would overlap an existing one.
+func (tl *Timeline) Insert(s Slot) error {
+	i := sort.Search(len(tl.slots), func(i int) bool { return tl.slots[i].Start >= s.Start })
+	if i > 0 && tl.slots[i-1].Finish > s.Start {
+		prev := tl.slots[i-1]
+		return fmt.Errorf("sched: slot n%d[%d,%d) overlaps n%d[%d,%d)",
+			s.Node, s.Start, s.Finish, prev.Node, prev.Start, prev.Finish)
+	}
+	if i < len(tl.slots) && tl.slots[i].Start < s.Finish {
+		next := tl.slots[i]
+		return fmt.Errorf("sched: slot n%d[%d,%d) overlaps n%d[%d,%d)",
+			s.Node, s.Start, s.Finish, next.Node, next.Start, next.Finish)
+	}
+	tl.slots = append(tl.slots, Slot{})
+	copy(tl.slots[i+1:], tl.slots[i:])
+	tl.slots[i] = s
+	return nil
+}
+
+// Remove deletes the slot identified by (node, start) and reports whether
+// it was present.
+func (tl *Timeline) Remove(node dag.NodeID, start int64) bool {
+	for i := range tl.slots {
+		if tl.slots[i].Node == node && tl.slots[i].Start == start {
+			tl.slots = append(tl.slots[:i], tl.slots[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the slots are sorted and non-overlapping.
+func (tl *Timeline) Validate() error {
+	for i := 1; i < len(tl.slots); i++ {
+		if tl.slots[i-1].Finish > tl.slots[i].Start {
+			return fmt.Errorf("sched: timeline slots %d and %d overlap", i-1, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+// Package table renders fixed-width text tables and series (the textual
+// equivalent of the paper's figures) for the benchmark harness.
+package table
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid with a header row.
+type Table struct {
+	title   string
+	columns []string
+	rows    [][]string
+}
+
+// New returns an empty table with the given title and column headers.
+func New(title string, columns ...string) *Table {
+	return &Table{title: title, columns: columns}
+}
+
+// AddRow appends one row; missing cells render empty, extra cells are
+// dropped.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddSeparator appends a horizontal rule row.
+func (t *Table) AddSeparator() {
+	t.rows = append(t.rows, nil)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.columns))
+	for i, c := range t.columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	rule := func() {
+		for i := range t.columns {
+			b.WriteByte('+')
+			b.WriteString(strings.Repeat("-", widths[i]+2))
+		}
+		b.WriteString("+\n")
+	}
+	writeRow := func(cells []string) {
+		for i := range t.columns {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			fmt.Fprintf(&b, "| %-*s ", widths[i], cell)
+		}
+		b.WriteString("|\n")
+	}
+	rule()
+	writeRow(t.columns)
+	rule()
+	for _, row := range t.rows {
+		if row == nil {
+			rule()
+			continue
+		}
+		writeRow(row)
+	}
+	rule()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Series is a set of named lines sampled at shared x values — the text
+// rendering of a figure. Lines keep insertion order.
+type Series struct {
+	title  string
+	xLabel string
+	xs     []string
+	names  []string
+	lines  map[string][]float64
+}
+
+// NewSeries returns an empty series plot.
+func NewSeries(title, xLabel string, xs ...string) *Series {
+	return &Series{title: title, xLabel: xLabel, xs: xs, lines: map[string][]float64{}}
+}
+
+// Set records the y value of line name at x index i.
+func (s *Series) Set(name string, i int, y float64) {
+	if _, ok := s.lines[name]; !ok {
+		s.names = append(s.names, name)
+		s.lines[name] = make([]float64, len(s.xs))
+	}
+	s.lines[name][i] = y
+}
+
+// Render writes the series as a table with one row per x value.
+func (s *Series) Render(w io.Writer) error {
+	cols := append([]string{s.xLabel}, s.names...)
+	t := New(s.title, cols...)
+	for i, x := range s.xs {
+		row := make([]string, 0, len(cols))
+		row = append(row, x)
+		for _, name := range s.names {
+			row = append(row, fmt.Sprintf("%.3f", s.lines[name][i]))
+		}
+		t.AddRow(row...)
+	}
+	return t.Render(w)
+}

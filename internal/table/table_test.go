@@ -1,0 +1,75 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := New("demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22")
+	tb.AddSeparator()
+	tb.AddRow("gamma") // missing cell renders empty
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"demo", "| name", "| alpha", "| 22", "+---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	width := len(lines[1])
+	for i, l := range lines[1:] {
+		if len(l) != width {
+			t.Errorf("line %d has width %d, want %d:\n%s", i, len(l), width, out)
+		}
+	}
+}
+
+func TestTableExtraCellsDropped(t *testing.T) {
+	tb := New("", "only")
+	tb.AddRow("a", "extra", "more")
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "extra") {
+		t.Error("extra cell rendered")
+	}
+}
+
+func TestSeriesRender(t *testing.T) {
+	s := NewSeries("fig", "x", "1", "2", "3")
+	s.Set("up", 0, 1)
+	s.Set("up", 1, 2)
+	s.Set("up", 2, 3)
+	s.Set("down", 2, 0.5)
+	var b strings.Builder
+	if err := s.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"fig", "| x", "| up", "| down", "2.000", "0.500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesLineOrderStable(t *testing.T) {
+	s := NewSeries("", "x", "1")
+	s.Set("zeta", 0, 1)
+	s.Set("alpha", 0, 2)
+	var b strings.Builder
+	if err := s.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Index(out, "zeta") > strings.Index(out, "alpha") {
+		t.Error("line insertion order not preserved")
+	}
+}

@@ -1,0 +1,265 @@
+// Package taskgraph is the public API of the reproduction of Kwok &
+// Ahmad, "Benchmarking the Task Graph Scheduling Algorithms" (IPPS
+// 1998). It exposes:
+//
+//   - the weighted-DAG task graph model (Builder, Graph) and its
+//     scheduling attributes (levels, critical path, width);
+//   - all 15 scheduling algorithms of the study, grouped into the
+//     paper's BNP / UNC / APN classes;
+//   - the processor-network model used by the APN class (Topology and
+//     the standard interconnects);
+//   - the exact branch-and-bound scheduler used to obtain optimal
+//     solutions for small graphs;
+//   - the five benchmark suites and the experiment harness that
+//     regenerates every table and figure of the paper's evaluation.
+//
+// # Quick start
+//
+//	b := taskgraph.NewBuilder()
+//	t1 := b.AddNode(2)
+//	t2 := b.AddNode(3)
+//	b.AddEdge(t1, t2, 1) // t2 needs t1's data; costs 1 across processors
+//	g, err := b.Build()
+//	...
+//	s, err := taskgraph.ScheduleBNP("MCP", g, 4)
+//	fmt.Println(s.Length(), s.NSL())
+//
+// See the examples directory for runnable programs.
+package taskgraph
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/algo/apn"
+	"repro/internal/algo/bnp"
+	"repro/internal/algo/cs"
+	"repro/internal/algo/tdb"
+	"repro/internal/algo/unc"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/gen"
+	"repro/internal/machine"
+	"repro/internal/optimal"
+	"repro/internal/sched"
+)
+
+// Core graph model, re-exported from the internal dag package.
+type (
+	// Graph is an immutable weighted task DAG.
+	Graph = dag.Graph
+	// Builder accumulates nodes and edges and produces a Graph.
+	Builder = dag.Builder
+	// NodeID identifies a node within one Graph.
+	NodeID = dag.NodeID
+	// Arc is one adjacency entry (neighbor and edge cost).
+	Arc = dag.Arc
+	// Levels bundles t-level, b-level, static-level, and ALAP arrays.
+	Levels = dag.Levels
+)
+
+// Schedule models, re-exported.
+type (
+	// Schedule is a clique-model schedule (BNP and UNC classes).
+	Schedule = sched.Schedule
+	// APNSchedule is a task-and-message schedule on a Topology.
+	APNSchedule = machine.Schedule
+	// Topology is a processor interconnection network.
+	Topology = machine.Topology
+)
+
+// NamedGraph pairs a benchmark graph with its provenance.
+type NamedGraph = gen.NamedGraph
+
+// DupSchedule is a duplication-based schedule in which a task may run on
+// several processors (TDB class).
+type DupSchedule = tdb.DupSchedule
+
+// GraphStats summarizes the structural properties of a task graph.
+type GraphStats = dag.Stats
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder { return dag.NewBuilder() }
+
+// ReadGraph parses a graph from the text exchange format.
+func ReadGraph(r io.Reader) (*Graph, error) { return dag.ReadText(r) }
+
+// WriteGraph writes a graph in the text exchange format.
+func WriteGraph(w io.Writer, g *Graph) error { return dag.WriteText(w, g) }
+
+// DOT renders a graph in Graphviz format.
+func DOT(g *Graph, name string) string { return dag.DOT(g, name) }
+
+// ComputeLevels returns the scheduling attributes of every node.
+func ComputeLevels(g *Graph) *Levels { return dag.ComputeLevels(g) }
+
+// CriticalPath returns one critical path of g.
+func CriticalPath(g *Graph) []NodeID { return dag.CriticalPath(g) }
+
+// CriticalPathLength returns the critical-path length of g.
+func CriticalPathLength(g *Graph) int64 { return dag.CriticalPathLength(g) }
+
+// Width returns the exact maximum number of mutually independent tasks.
+func Width(g *Graph) int { return dag.Width(g) }
+
+// ComputeStats returns the structural summary of a graph.
+func ComputeStats(g *Graph) GraphStats { return dag.ComputeStats(g) }
+
+// TransitiveReduction returns g without redundant precedence edges.
+func TransitiveReduction(g *Graph) (*Graph, error) { return dag.TransitiveReduction(g) }
+
+// Gantt renders a clique-model schedule as a text Gantt chart.
+func Gantt(w io.Writer, s *Schedule, maxCols int) error { return sched.Gantt(w, s, maxCols) }
+
+// Topology constructors, re-exported from the machine package.
+var (
+	// Clique returns the fully connected topology on n processors.
+	Clique = machine.Clique
+	// Ring returns the cycle topology on n processors.
+	Ring = machine.Ring
+	// Chain returns the linear-array topology on n processors.
+	Chain = machine.Chain
+	// Mesh returns the rows x cols 2-D mesh topology.
+	Mesh = machine.Mesh
+	// Hypercube returns the d-dimensional hypercube topology.
+	Hypercube = machine.Hypercube
+	// Star returns the star topology with processor 0 as the hub.
+	Star = machine.Star
+	// Torus returns the rows x cols 2-D torus topology.
+	Torus = machine.Torus
+	// BinaryTree returns a complete binary tree topology.
+	BinaryTree = machine.BinaryTree
+)
+
+// NewTopology builds a custom topology from an undirected link list.
+func NewTopology(n int, links [][2]int) (*Topology, error) {
+	return machine.NewTopology(n, links)
+}
+
+// Class identifies an algorithm family (BNP, UNC, or APN).
+type Class = core.Class
+
+// The three algorithm classes of the paper's taxonomy.
+const (
+	BNP = core.BNP
+	UNC = core.UNC
+	APN = core.APN
+)
+
+// AlgorithmNames returns the algorithm names of a class in the paper's
+// canonical order.
+func AlgorithmNames(c Class) []string { return core.Names(c) }
+
+// ScheduleBNP runs a BNP algorithm (HLFET, ISH, ETF, LAST, MCP, or DLS)
+// on numProcs fully connected processors.
+func ScheduleBNP(name string, g *Graph, numProcs int) (*Schedule, error) {
+	algo, ok := bnp.Algorithms()[name]
+	if !ok {
+		return nil, fmt.Errorf("taskgraph: unknown BNP algorithm %q (have %v)", name, core.Names(BNP))
+	}
+	return algo(g, numProcs)
+}
+
+// ScheduleUNC runs a UNC clustering algorithm (EZ, LC, DSC, MD, or DCP)
+// with an unbounded processor supply.
+func ScheduleUNC(name string, g *Graph) (*Schedule, error) {
+	algo, ok := unc.Algorithms()[name]
+	if !ok {
+		return nil, fmt.Errorf("taskgraph: unknown UNC algorithm %q (have %v)", name, core.Names(UNC))
+	}
+	return algo(g)
+}
+
+// ScheduleAPN runs an APN algorithm (MH, DLS, BU, or BSA) on an
+// arbitrary processor network, scheduling messages on its links.
+func ScheduleAPN(name string, g *Graph, topo *Topology) (*APNSchedule, error) {
+	algo, ok := apn.Algorithms()[name]
+	if !ok {
+		return nil, fmt.Errorf("taskgraph: unknown APN algorithm %q (have %v)", name, core.Names(APN))
+	}
+	return algo(g, topo)
+}
+
+// OptimalResult reports an exact branch-and-bound run.
+type OptimalResult = optimal.Result
+
+// OptimalOptions configures the exact scheduler.
+type OptimalOptions = optimal.Options
+
+// ScheduleOptimal finds a provably minimum-length schedule of g on
+// numProcs fully connected processors, within the configured search
+// budget (Result.Closed reports whether optimality was proven).
+func ScheduleOptimal(g *Graph, numProcs int, opts OptimalOptions) (*OptimalResult, error) {
+	return optimal.Schedule(g, numProcs, opts)
+}
+
+// ScheduleOptimalParallel is ScheduleOptimal distributed over worker
+// goroutines with a shared incumbent, mirroring the parallel A* the
+// paper used for its RGBOS optima. workers <= 0 selects GOMAXPROCS.
+func ScheduleOptimalParallel(g *Graph, numProcs int, opts OptimalOptions, workers int) (*OptimalResult, error) {
+	return optimal.ScheduleParallel(g, numProcs, opts, workers)
+}
+
+// ScheduleDSH runs the task-duplication heuristic DSH (the TDB family of
+// the paper's taxonomy, implemented as an extension): tasks may be
+// redundantly executed on several processors to avoid communication.
+func ScheduleDSH(g *Graph, numProcs int) (*DupSchedule, error) {
+	return tdb.DSH(g, numProcs)
+}
+
+// MapClusters compresses a UNC clustering onto numProcs physical
+// processors with a cluster-scheduling algorithm: "SARKAR" (Sarkar's
+// assignment algorithm) or "RCP" (Yang's ready critical path), the two
+// CS algorithms paper section 7 describes.
+func MapClusters(method string, clustering *Schedule, numProcs int) (*Schedule, error) {
+	m, ok := cs.Mappers()[method]
+	if !ok {
+		return nil, fmt.Errorf("taskgraph: unknown cluster-scheduling method %q (have SARKAR, RCP)", method)
+	}
+	return m(clustering, numProcs)
+}
+
+// Benchmark suites (paper section 5).
+
+// PeerSet returns the small published-example graphs (PSG suite).
+func PeerSet() []NamedGraph { return gen.PeerSet() }
+
+// Cholesky returns the traced graph of a Cholesky factorization on an
+// N x N matrix with the given communication-to-computation ratio.
+func Cholesky(n int, ccr float64) (*Graph, error) { return gen.Cholesky(n, ccr) }
+
+// GaussianElimination returns the traced graph of Gaussian elimination.
+func GaussianElimination(n int, ccr float64) (*Graph, error) {
+	return gen.GaussianElimination(n, ccr)
+}
+
+// FFT returns the butterfly graph of an N-point FFT (N a power of two).
+func FFT(points int, ccr float64) (*Graph, error) { return gen.FFT(points, ccr) }
+
+// Experiment harness.
+
+// ExperimentConfig parameterizes a paper experiment run.
+type ExperimentConfig = core.Config
+
+// Experiment scales.
+const (
+	// Quick runs reduced instance counts (seconds).
+	Quick = core.Quick
+	// Full reproduces the paper's instance counts (minutes).
+	Full = core.Full
+)
+
+// ExperimentIDs returns the identifiers of every reproducible table and
+// figure ("table1".."table6", "fig2".."fig4").
+func ExperimentIDs() []string {
+	var ids []string
+	for _, e := range core.Experiments() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// RunExperiment regenerates one of the paper's tables or figures.
+func RunExperiment(id string, cfg ExperimentConfig) error {
+	return core.RunExperiment(id, cfg)
+}

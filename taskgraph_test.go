@@ -1,0 +1,203 @@
+package taskgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func buildDiamond(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	a := b.AddLabeledNode(2, "a")
+	nb := b.AddLabeledNode(3, "b")
+	c := b.AddLabeledNode(4, "c")
+	d := b.AddLabeledNode(1, "d")
+	b.AddEdge(a, nb, 1)
+	b.AddEdge(a, c, 5)
+	b.AddEdge(nb, d, 2)
+	b.AddEdge(c, d, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPublicGraphAPI(t *testing.T) {
+	g := buildDiamond(t)
+	if CriticalPathLength(g) != 15 {
+		t.Errorf("CriticalPathLength = %d, want 15", CriticalPathLength(g))
+	}
+	if Width(g) != 2 {
+		t.Errorf("Width = %d, want 2", Width(g))
+	}
+	cp := CriticalPath(g)
+	if len(cp) != 3 {
+		t.Errorf("CriticalPath = %v, want 3 nodes", cp)
+	}
+	lv := ComputeLevels(g)
+	if lv.CPLength != 15 {
+		t.Errorf("Levels.CPLength = %d", lv.CPLength)
+	}
+	if !strings.Contains(DOT(g, "x"), "digraph") {
+		t.Error("DOT output malformed")
+	}
+}
+
+func TestPublicGraphRoundTrip(t *testing.T) {
+	g := buildDiamond(t)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != 4 || back.NumEdges() != 4 {
+		t.Error("round trip lost structure")
+	}
+}
+
+func TestScheduleAllClassesViaFacade(t *testing.T) {
+	g := buildDiamond(t)
+	for _, name := range AlgorithmNames(BNP) {
+		s, err := ScheduleBNP(name, g, 2)
+		if err != nil {
+			t.Fatalf("BNP %s: %v", name, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("BNP %s: %v", name, err)
+		}
+	}
+	for _, name := range AlgorithmNames(UNC) {
+		s, err := ScheduleUNC(name, g)
+		if err != nil {
+			t.Fatalf("UNC %s: %v", name, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("UNC %s: %v", name, err)
+		}
+	}
+	topo := Hypercube(2)
+	for _, name := range AlgorithmNames(APN) {
+		s, err := ScheduleAPN(name, g, topo)
+		if err != nil {
+			t.Fatalf("APN %s: %v", name, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("APN %s: %v", name, err)
+		}
+	}
+}
+
+func TestUnknownAlgorithmNames(t *testing.T) {
+	g := buildDiamond(t)
+	if _, err := ScheduleBNP("NOPE", g, 2); err == nil {
+		t.Error("unknown BNP name accepted")
+	}
+	if _, err := ScheduleUNC("NOPE", g); err == nil {
+		t.Error("unknown UNC name accepted")
+	}
+	if _, err := ScheduleAPN("NOPE", g, Ring(3)); err == nil {
+		t.Error("unknown APN name accepted")
+	}
+}
+
+func TestScheduleOptimalFacade(t *testing.T) {
+	g := buildDiamond(t)
+	res, err := ScheduleOptimal(g, 2, OptimalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Closed || res.Length != 9 {
+		t.Errorf("optimal = %d closed=%v, want 9 proven", res.Length, res.Closed)
+	}
+}
+
+func TestSuitesViaFacade(t *testing.T) {
+	if len(PeerSet()) != 10 {
+		t.Error("PeerSet size wrong")
+	}
+	g, err := Cholesky(6, 1.0)
+	if err != nil || g.NumNodes() != 6+15 {
+		t.Errorf("Cholesky(6): %d nodes, err %v", g.NumNodes(), err)
+	}
+	if _, err := GaussianElimination(4, 0.5); err != nil {
+		t.Error(err)
+	}
+	if _, err := FFT(8, 1.0); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewTopology(2, [][2]int{{0, 1}}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExperimentIDsFacade(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 11 {
+		t.Fatalf("ExperimentIDs = %v, want 11 entries", ids)
+	}
+	var sink bytes.Buffer
+	if err := RunExperiment("table1", ExperimentConfig{Seed: 1, Scale: Quick, Out: &sink}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sink.String(), "kwok-ahmad-9") {
+		t.Error("table1 output missing PSG rows")
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	g := buildDiamond(t)
+	d, err := ScheduleDSH(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	clustering, err := ScheduleUNC("DSC", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"SARKAR", "RCP"} {
+		mapped, err := MapClusters(m, clustering, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if err := mapped.Validate(); err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+	}
+	if _, err := MapClusters("NOPE", clustering, 2); err == nil {
+		t.Error("unknown mapper accepted")
+	}
+	st := ComputeStats(g)
+	if st.Nodes != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+	r, err := TransitiveReduction(g)
+	if err != nil || r.NumEdges() != 4 {
+		t.Errorf("reduction: %v", err)
+	}
+	var buf bytes.Buffer
+	s, err := ScheduleBNP("MCP", g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Gantt(&buf, s, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "P0") {
+		t.Error("Gantt output missing rows")
+	}
+	if Torus(3, 3).NumProcs() != 9 || BinaryTree(2).NumProcs() != 3 {
+		t.Error("extra topologies wrong")
+	}
+	par, err := ScheduleOptimalParallel(g, 2, OptimalOptions{}, 4)
+	if err != nil || par.Length != 9 {
+		t.Errorf("parallel optimal = %d, err %v", par.Length, err)
+	}
+}
