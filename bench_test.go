@@ -10,6 +10,7 @@ package taskgraph
 // ablations report NSL through b.ReportMetric in addition to time.
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -22,7 +23,17 @@ import (
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
-	cfg := core.Config{Seed: 1998, Scale: core.Quick, Out: io.Discard}
+	benchExperimentWorkers(b, id, 0)
+}
+
+func benchExperimentWorkers(b *testing.B, id string, workers int) {
+	b.Helper()
+	cfg := core.Config{Seed: 1998, Scale: core.Quick, Out: io.Discard, Workers: workers, Cache: core.NewSuiteCache()}
+	// Warm the suite cache so iterations measure scheduling, not suite
+	// generation or the RGBOS branch-and-bound.
+	if err := core.RunExperiment(id, cfg); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := core.RunExperiment(id, cfg); err != nil {
@@ -40,6 +51,18 @@ func BenchmarkTable6RunningTimes(b *testing.B) { benchExperiment(b, "table6") }
 func BenchmarkFigure2NSL(b *testing.B)         { benchExperiment(b, "fig2") }
 func BenchmarkFigure3Processors(b *testing.B)  { benchExperiment(b, "fig3") }
 func BenchmarkFigure4Cholesky(b *testing.B)    { benchExperiment(b, "fig4") }
+
+// BenchmarkExperimentWorkers measures the parallel experiment runner's
+// scaling on table6, the heaviest quick-scale sweep (all 15 algorithms
+// over the RGNOS suite). Compare the workers=1 and workers=N lines to
+// see the wall-clock speedup on a multi-core machine.
+func BenchmarkExperimentWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchExperimentWorkers(b, "table6", w)
+		})
+	}
+}
 
 // benchGraphs is a fixed workload of mid-size RGNOS-style graphs shared
 // by the per-algorithm and ablation benchmarks.

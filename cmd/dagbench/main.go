@@ -3,17 +3,30 @@
 //
 // Usage:
 //
-//	dagbench [-exp table1|...|fig4|all] [-scale quick|full] [-seed N]
+//	dagbench [-exp id[,id...]] [-scale quick|full] [-seed N] [-workers N]
+//
+// Experiment ids are table1..table6, fig2..fig4, the extension studies
+// unccs and tdb, or all (the default); a comma-separated list runs
+// several in order, e.g. -exp=table2,table3,unccs.
 //
 // With -scale=quick (the default) each experiment runs a reduced
 // workload in seconds; -scale=full reproduces the paper's instance
 // counts and can take minutes.
+//
+// -workers bounds how many (algorithm × instance) scheduling cells run
+// concurrently; it defaults to GOMAXPROCS, and -workers=1 forces a
+// serial run. Output is byte-identical for every worker count — except
+// table6's timing cells, which are wall-clock measurements and vary run
+// to run (use -workers=1 there for timings comparable to the paper's).
+// The benchmark suites — including the RGBOS branch-and-bound optima
+// shared by table2 and table3 — are generated once per dagbench run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -21,12 +34,20 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1..table6, fig2..fig4, or all)")
+	exp := flag.String("exp", "all", "experiment id or comma-separated list (table1..table6, fig2..fig4, unccs, tdb, or all)")
 	scale := flag.String("scale", "quick", "workload scale: quick or full")
 	seed := flag.Int64("seed", 1998, "random seed for the benchmark suites")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent scheduling cells (<= 0: GOMAXPROCS)")
 	flag.Parse()
 
-	cfg := taskgraph.ExperimentConfig{Seed: *seed, Out: os.Stdout}
+	cfg := taskgraph.ExperimentConfig{
+		Seed:    *seed,
+		Out:     os.Stdout,
+		Workers: *workers,
+		// One cache per run: suites and RGBOS optima are shared by
+		// every experiment below.
+		Cache: taskgraph.NewSuiteCache(),
+	}
 	switch *scale {
 	case "quick":
 		cfg.Scale = taskgraph.Quick

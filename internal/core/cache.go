@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/gen"
+	"repro/internal/optimal"
+)
+
+// SuiteCache shares generated benchmark suites — and the expensive
+// RGBOS branch-and-bound optima — across experiments. Entries are keyed
+// by (seed, scale), so Tables 2 and 3 solve each RGBOS instance to
+// optimality exactly once, Tables 4 and 5 generate the RGPOS suite
+// once, and Table 6, Figures 2-3, and the UNCCS extension share one
+// RGNOS suite. Suites are deterministic in (seed, scale), which keeps
+// cached runs byte-identical to cold ones.
+//
+// A nil *SuiteCache in Config falls back to a process-wide cache; use
+// NewSuiteCache for an isolated one. Entries are retained for the
+// cache's lifetime, so a sweep over many distinct seeds should supply
+// its own short-lived cache rather than rely on the process-wide
+// fallback, which is never evicted.
+type SuiteCache struct {
+	mu    sync.Mutex
+	rgbos map[suiteKey]map[float64][]degradationInstance
+	rgpos map[suiteKey]map[float64][]degradationInstance
+	rgnos map[suiteKey]map[int][]gen.NamedGraph
+}
+
+type suiteKey struct {
+	seed  int64
+	scale Scale
+}
+
+// NewSuiteCache returns an empty suite cache.
+func NewSuiteCache() *SuiteCache {
+	return &SuiteCache{
+		rgbos: map[suiteKey]map[float64][]degradationInstance{},
+		rgpos: map[suiteKey]map[float64][]degradationInstance{},
+		rgnos: map[suiteKey]map[int][]gen.NamedGraph{},
+	}
+}
+
+// processCache backs Configs that do not carry their own cache.
+var processCache = NewSuiteCache()
+
+// rgbosSolves counts branch-and-bound solves, so tests can assert that
+// optima are computed exactly once per suite.
+var rgbosSolves atomic.Int64
+
+// suiteCacheFor resolves cfg's cache, defaulting to the process-wide one.
+func suiteCacheFor(cfg Config) *SuiteCache {
+	if cfg.Cache != nil {
+		return cfg.Cache
+	}
+	return processCache
+}
+
+func (c *SuiteCache) key(cfg Config) suiteKey { return suiteKey{cfg.Seed, cfg.Scale} }
+
+// rgbosInstances returns the RGBOS suite with branch-and-bound optima
+// attached (the role the paper's parallel A* played), computing it on
+// the first request for (seed, scale). Failed computations are not
+// cached.
+func (c *SuiteCache) rgbosInstances(cfg Config) (map[float64][]degradationInstance, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := c.key(cfg)
+	if got, ok := c.rgbos[k]; ok {
+		return got, nil
+	}
+	suite, err := computeRGBOS(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.rgbos[k] = suite
+	return suite, nil
+}
+
+// computeRGBOS generates the RGBOS graphs serially (the generator's rng
+// is sequential) and then solves their optima as parallel cells.
+func computeRGBOS(cfg Config) (map[float64][]degradationInstance, error) {
+	type job struct {
+		ccr float64
+		ng  gen.NamedGraph
+	}
+	var jobs []job
+	for _, ccr := range gen.PaperCCRs {
+		rc := gen.DefaultRGBOSConfig(ccr, cfg.Seed)
+		rc.MaxNodes = rgbosMaxNodes(cfg.Scale)
+		for _, ng := range gen.RGBOS(rc) {
+			jobs = append(jobs, job{ccr, ng})
+		}
+	}
+	var p plan[degradationInstance]
+	for _, j := range jobs {
+		p.add(func() (degradationInstance, error) {
+			rgbosSolves.Add(1)
+			res, err := optimal.Schedule(j.ng.G, j.ng.G.NumNodes(), optimal.Options{})
+			if err != nil {
+				return degradationInstance{}, fmt.Errorf("rgbos optimum for %s: %w", j.ng.Name, err)
+			}
+			return degradationInstance{
+				label:   fmt.Sprintf("v=%d", j.ng.G.NumNodes()),
+				g:       j.ng.G,
+				optimal: res.Length,
+				closed:  res.Closed,
+			}, nil
+		})
+	}
+	results, err := p.run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := map[float64][]degradationInstance{}
+	for i, j := range jobs {
+		out[j.ccr] = append(out[j.ccr], results[i])
+	}
+	return out, nil
+}
+
+// rgposInstances returns the RGPOS suite, whose optima are known by
+// construction, generating it on the first request for (seed, scale).
+func (c *SuiteCache) rgposInstances(cfg Config) map[float64][]degradationInstance {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := c.key(cfg)
+	if got, ok := c.rgpos[k]; ok {
+		return got
+	}
+	out := map[float64][]degradationInstance{}
+	lo, hi, step := rgposSizes(cfg.Scale)
+	for _, ccr := range gen.PaperCCRs {
+		rc := gen.DefaultRGPOSConfig(ccr, cfg.Seed)
+		rc.MinNodes, rc.MaxNodes, rc.Step = lo, hi, step
+		for _, inst := range gen.RGPOS(rc) {
+			out[ccr] = append(out[ccr], degradationInstance{
+				label:   fmt.Sprintf("v=%d", inst.G.NumNodes()),
+				g:       inst.G,
+				optimal: inst.OptimalLength,
+				closed:  true,
+			})
+		}
+	}
+	c.rgpos[k] = out
+	return out
+}
+
+// rgnosSuite returns the RGNOS graphs grouped by size, generating them
+// on the first request for (seed, scale).
+func (c *SuiteCache) rgnosSuite(cfg Config) map[int][]gen.NamedGraph {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := c.key(cfg)
+	if got, ok := c.rgnos[k]; ok {
+		return got
+	}
+	rc := gen.RGNOSConfig{
+		MinNodes:    50,
+		MaxNodes:    500,
+		Step:        50,
+		CCRs:        rgnosCCRs(cfg.Scale),
+		Parallelism: rgnosParallelism(cfg.Scale),
+		Seed:        cfg.Seed,
+	}
+	sizes := rgnosSizes(cfg.Scale)
+	rc.MaxNodes = sizes[len(sizes)-1]
+	bySize := map[int][]gen.NamedGraph{}
+	for _, ng := range gen.RGNOS(rc) {
+		bySize[ng.G.NumNodes()] = append(bySize[ng.G.NumNodes()], ng)
+	}
+	c.rgnos[k] = bySize
+	return bySize
+}

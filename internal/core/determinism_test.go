@@ -1,0 +1,79 @@
+package core
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// timingCell matches the "%.4f"-second cells of Table 6, the one piece
+// of experiment output that legitimately varies between runs.
+var timingCell = regexp.MustCompile(`\d+\.\d{4}`)
+
+// normalizeOutput blanks wall-clock timing cells so byte comparison
+// checks everything except measured durations.
+func normalizeOutput(id, s string) string {
+	if id != "table6" {
+		return s
+	}
+	return timingCell.ReplaceAllString(s, "<t>")
+}
+
+func runForOutput(t *testing.T, id string, workers int, cache *SuiteCache) string {
+	t.Helper()
+	var out strings.Builder
+	cfg := Config{Seed: 7, Scale: Quick, Out: &out, Workers: workers, Cache: cache}
+	if err := RunExperiment(id, cfg); err != nil {
+		t.Fatalf("%s with %d workers: %v", id, workers, err)
+	}
+	return out.String()
+}
+
+// TestExperimentsDeterministic runs every experiment with one worker
+// and again with 8 workers: two runs with the same seed must be
+// byte-identical, whatever the worker count, so the parallel runner
+// must reproduce the serial bytes exactly. The cheap experiments are
+// additionally re-run serially to separate seed-determinism from
+// runner-determinism. (Table 6 is compared with its timing cells
+// blanked — its structure and labels are deterministic, its measured
+// seconds are not.)
+func TestExperimentsDeterministic(t *testing.T) {
+	cache := NewSuiteCache()
+	cheap := map[string]bool{"table1": true, "table4": true, "table5": true, "fig4": true, "tdb": true}
+	// The branch-and-bound and full-suite sweeps dominate the package's
+	// test time; under -short (e.g. the -race CI job) only the cheap
+	// experiments run.
+	heavy := map[string]bool{"table2": true, "table3": true, "table6": true, "fig2": true, "unccs": true}
+	for _, e := range Experiments() {
+		t.Run(e.ID, func(t *testing.T) {
+			if testing.Short() && heavy[e.ID] {
+				t.Skipf("skipping %s in short mode", e.ID)
+			}
+			serial := normalizeOutput(e.ID, runForOutput(t, e.ID, 1, cache))
+			if cheap[e.ID] {
+				if repeat := normalizeOutput(e.ID, runForOutput(t, e.ID, 1, cache)); serial != repeat {
+					t.Errorf("two serial runs of %s differ:\n--- first ---\n%s\n--- second ---\n%s", e.ID, serial, repeat)
+				}
+			}
+			parallel := normalizeOutput(e.ID, runForOutput(t, e.ID, 8, cache))
+			if serial != parallel {
+				t.Errorf("parallel run of %s differs from serial:\n--- serial ---\n%s\n--- workers=8 ---\n%s", e.ID, serial, parallel)
+			}
+		})
+	}
+}
+
+// TestDeterministicAcrossCaches guards against cache state leaking into
+// output: a cold cache and a warm cache must render identical bytes.
+func TestDeterministicAcrossCaches(t *testing.T) {
+	warm := NewSuiteCache()
+	first := runForOutput(t, "fig3", 4, warm)
+	rewarm := runForOutput(t, "fig3", 4, warm)
+	cold := runForOutput(t, "fig3", 4, NewSuiteCache())
+	if first != rewarm {
+		t.Error("warm-cache rerun differs")
+	}
+	if first != cold {
+		t.Error("cold-cache run differs from warm-cache run")
+	}
+}

@@ -3,13 +3,11 @@ package core
 import (
 	"fmt"
 	"io"
-	"sort"
 	"time"
 
 	"repro/internal/dag"
 	"repro/internal/gen"
 	"repro/internal/machine"
-	"repro/internal/optimal"
 	"repro/internal/table"
 )
 
@@ -28,7 +26,21 @@ type Config struct {
 	Seed  int64
 	Scale Scale
 	Out   io.Writer
+
+	// Workers bounds the number of scheduling cells run concurrently;
+	// <= 0 selects GOMAXPROCS. Output is byte-identical for every
+	// worker count, except Table 6's measured timing cells, which vary
+	// run to run like any wall-clock measurement.
+	Workers int
+
+	// Cache shares generated suites and RGBOS optima across experiment
+	// runs with the same (seed, scale); nil selects a process-wide
+	// cache.
+	Cache *SuiteCache
 }
+
+// runner returns the worker pool for this run.
+func (c Config) runner() *Runner { return NewRunner(c.Workers) }
 
 // Experiment is one reproducible paper artifact.
 type Experiment struct {
@@ -116,24 +128,44 @@ func choleskyDims(s Scale) []int {
 	return []int{6, 10, 14}
 }
 
+// runCell plans one measured scheduling run, wrapping errors with the
+// experiment and instance context.
+func runCell(p *plan[Result], exp string, a Algorithm, ng gen.NamedGraph, bnpProcs int, topo *machine.Topology) {
+	p.add(func() (Result, error) {
+		res, err := a.Run(ng.G, bnpProcs, topo)
+		if err != nil {
+			return Result{}, fmt.Errorf("%s: %s on %s: %w", exp, a.Name, ng.Name, err)
+		}
+		return res, nil
+	})
+}
+
 // Table1 reports the schedule length of every UNC and BNP algorithm on
 // each peer set graph. APN algorithms are excluded, as in the paper
 // ("many network topologies are possible as test cases", section 6.1).
 func Table1(cfg Config) error {
 	algs := append(ByClass(UNC), ByClass(BNP)...)
+	graphs := gen.PeerSet()
+	var p plan[Result]
+	for _, ng := range graphs {
+		for _, a := range algs {
+			runCell(&p, "table1", a, ng, BNPProcs(ng.G.NumNodes()), nil)
+		}
+	}
+	results, err := p.run(cfg)
+	if err != nil {
+		return err
+	}
 	cols := []string{"graph", "v", "CCR"}
 	for _, a := range algs {
 		cols = append(cols, a.Name)
 	}
 	t := table.New("Schedule lengths on the Peer Set Graphs", cols...)
-	for _, ng := range gen.PeerSet() {
+	cur := cursor[Result]{rs: results}
+	for _, ng := range graphs {
 		row := []string{ng.Name, fmt.Sprint(ng.G.NumNodes()), fmt.Sprintf("%.2f", ng.G.CCR())}
-		for _, a := range algs {
-			res, err := a.Run(ng.G, BNPProcs(ng.G.NumNodes()), nil)
-			if err != nil {
-				return fmt.Errorf("table1: %s on %s: %w", a.Name, ng.Name, err)
-			}
-			row = append(row, fmt.Sprint(res.Length))
+		for range algs {
+			row = append(row, fmt.Sprint(cur.next().Length))
 		}
 		t.AddRow(row...)
 	}
@@ -154,11 +186,31 @@ type degradationInstance struct {
 func degradationTable(cfg Config, title string, algs []Algorithm, bnpProcsFor func(*dag.Graph) int,
 	suites map[float64][]degradationInstance, ccrs []float64) error {
 
+	var p plan[Result]
+	for _, ccr := range ccrs {
+		for _, inst := range suites[ccr] {
+			for _, a := range algs {
+				p.add(func() (Result, error) {
+					res, err := a.Run(inst.g, bnpProcsFor(inst.g), nil)
+					if err != nil {
+						return Result{}, fmt.Errorf("%s on %s: %w", a.Name, inst.label, err)
+					}
+					return res, nil
+				})
+			}
+		}
+	}
+	results, err := p.run(cfg)
+	if err != nil {
+		return err
+	}
+
 	cols := []string{"CCR", "graph", "optimal"}
 	for _, a := range algs {
 		cols = append(cols, a.Name)
 	}
 	t := table.New(title, cols...)
+	cur := cursor[Result]{rs: results}
 	for _, ccr := range ccrs {
 		numOpt := make([]int, len(algs))
 		sumDeg := make([]float64, len(algs))
@@ -172,11 +224,8 @@ func degradationTable(cfg Config, title string, algs []Algorithm, bnpProcsFor fu
 			if inst.closed {
 				counted++
 			}
-			for i, a := range algs {
-				res, err := a.Run(inst.g, bnpProcsFor(inst.g), nil)
-				if err != nil {
-					return fmt.Errorf("%s on %s: %w", a.Name, inst.label, err)
-				}
+			for i := range algs {
+				res := cur.next()
 				deg := 100 * float64(res.Length-inst.optimal) / float64(inst.optimal)
 				row = append(row, fmt.Sprintf("%.1f", deg))
 				if inst.closed {
@@ -206,33 +255,10 @@ func degradationTable(cfg Config, title string, algs []Algorithm, bnpProcsFor fu
 	return t.Render(cfg.Out)
 }
 
-// rgbosInstances generates the RGBOS suite and attaches branch-and-bound
-// optima (the role the paper's parallel A* played).
-func rgbosInstances(cfg Config) (map[float64][]degradationInstance, error) {
-	out := map[float64][]degradationInstance{}
-	for _, ccr := range gen.PaperCCRs {
-		rc := gen.DefaultRGBOSConfig(ccr, cfg.Seed)
-		rc.MaxNodes = rgbosMaxNodes(cfg.Scale)
-		for _, ng := range gen.RGBOS(rc) {
-			res, err := optimal.Schedule(ng.G, ng.G.NumNodes(), optimal.Options{})
-			if err != nil {
-				return nil, err
-			}
-			out[ccr] = append(out[ccr], degradationInstance{
-				label:   fmt.Sprintf("v=%d", ng.G.NumNodes()),
-				g:       ng.G,
-				optimal: res.Length,
-				closed:  res.Closed,
-			})
-		}
-	}
-	return out, nil
-}
-
 // Table2 compares the UNC algorithms against branch-and-bound optima on
 // the RGBOS suite.
 func Table2(cfg Config) error {
-	suites, err := rgbosInstances(cfg)
+	suites, err := suiteCacheFor(cfg).rgbosInstances(cfg)
 	if err != nil {
 		return err
 	}
@@ -243,7 +269,7 @@ func Table2(cfg Config) error {
 
 // Table3 compares the BNP algorithms against the same optima.
 func Table3(cfg Config) error {
-	suites, err := rgbosInstances(cfg)
+	suites, err := suiteCacheFor(cfg).rgbosInstances(cfg)
 	if err != nil {
 		return err
 	}
@@ -252,31 +278,12 @@ func Table3(cfg Config) error {
 		suites, gen.PaperCCRs)
 }
 
-// rgposInstances generates the RGPOS suite; optima are by construction.
-func rgposInstances(cfg Config) map[float64][]degradationInstance {
-	out := map[float64][]degradationInstance{}
-	lo, hi, step := rgposSizes(cfg.Scale)
-	for _, ccr := range gen.PaperCCRs {
-		rc := gen.DefaultRGPOSConfig(ccr, cfg.Seed)
-		rc.MinNodes, rc.MaxNodes, rc.Step = lo, hi, step
-		for _, inst := range gen.RGPOS(rc) {
-			out[ccr] = append(out[ccr], degradationInstance{
-				label:   fmt.Sprintf("v=%d", inst.G.NumNodes()),
-				g:       inst.G,
-				optimal: inst.OptimalLength,
-				closed:  true,
-			})
-		}
-	}
-	return out
-}
-
 // Table4 compares the UNC algorithms against the pre-determined optima
 // of the RGPOS suite.
 func Table4(cfg Config) error {
 	return degradationTable(cfg, "% degradation from optimal, RGPOS (UNC algorithms)",
 		ByClass(UNC), func(g *dag.Graph) int { return BNPProcs(g.NumNodes()) },
-		rgposInstances(cfg), gen.PaperCCRs)
+		suiteCacheFor(cfg).rgposInstances(cfg), gen.PaperCCRs)
 }
 
 // Table5 compares the BNP algorithms on RGPOS. The BNP processor count
@@ -285,95 +292,104 @@ func Table4(cfg Config) error {
 func Table5(cfg Config) error {
 	return degradationTable(cfg, "% degradation from optimal, RGPOS (BNP algorithms)",
 		ByClass(BNP), func(*dag.Graph) int { return 8 },
-		rgposInstances(cfg), gen.PaperCCRs)
-}
-
-// rgnosSuite generates the RGNOS graphs grouped by size.
-func rgnosSuite(cfg Config) map[int][]gen.NamedGraph {
-	rc := gen.RGNOSConfig{
-		MinNodes:    50,
-		MaxNodes:    500,
-		Step:        50,
-		CCRs:        rgnosCCRs(cfg.Scale),
-		Parallelism: rgnosParallelism(cfg.Scale),
-		Seed:        cfg.Seed,
-	}
-	sizes := rgnosSizes(cfg.Scale)
-	rc.MaxNodes = sizes[len(sizes)-1]
-	bySize := map[int][]gen.NamedGraph{}
-	for _, ng := range gen.RGNOS(rc) {
-		bySize[ng.G.NumNodes()] = append(bySize[ng.G.NumNodes()], ng)
-	}
-	return bySize
+		suiteCacheFor(cfg).rgposInstances(cfg), gen.PaperCCRs)
 }
 
 // Table6 reports average scheduling running times (seconds) per graph
 // size for all 15 algorithms, as the paper does for its RGNOS suite.
+// Each cell's Elapsed is measured inside Algorithm.Run, i.e. inside the
+// worker goroutine executing that cell, so a timing never spans other
+// cells' work. Concurrent cells still contend for cores and memory
+// bandwidth, so for timings comparable to the paper's serial
+// measurements run this table with Workers=1.
 func Table6(cfg Config) error {
-	bySize := rgnosSuite(cfg)
+	bySize := suiteCacheFor(cfg).rgnosSuite(cfg)
 	sizes := rgnosSizes(cfg.Scale)
 	algs := All()
+	topo := apnTopology()
+	var p plan[Result]
+	for _, v := range sizes {
+		for _, a := range algs {
+			for _, ng := range bySize[v] {
+				runCell(&p, "table6", a, ng, BNPProcs(v), topo)
+			}
+		}
+	}
+	results, err := p.run(cfg)
+	if err != nil {
+		return err
+	}
 	cols := []string{"v"}
 	for _, a := range algs {
 		cols = append(cols, fmt.Sprintf("%s(%s)", a.Name, a.Class))
 	}
 	t := table.New("Average running times (seconds) on RGNOS", cols...)
-	topo := apnTopology()
+	cur := cursor[Result]{rs: results}
 	for _, v := range sizes {
 		row := []string{fmt.Sprint(v)}
-		for _, a := range algs {
+		for range algs {
 			var total time.Duration
-			for _, ng := range bySize[v] {
-				res, err := a.Run(ng.G, BNPProcs(v), topo)
-				if err != nil {
-					return fmt.Errorf("table6: %s on %s: %w", a.Name, ng.Name, err)
-				}
-				total += res.Elapsed
+			for range bySize[v] {
+				total += cur.next().Elapsed
 			}
-			avg := total / time.Duration(len(bySize[v]))
-			row = append(row, fmt.Sprintf("%.4f", avg.Seconds()))
+			if n := len(bySize[v]); n > 0 {
+				row = append(row, fmt.Sprintf("%.4f", (total/time.Duration(n)).Seconds()))
+			} else {
+				row = append(row, "-")
+			}
 		}
 		t.AddRow(row...)
 	}
 	return t.Render(cfg.Out)
 }
 
-// classNSLSeries renders one sub-figure: average NSL per graph size for
-// the algorithms of one class.
-func classNSLSeries(cfg Config, sub string, class Class, bySize map[int][]gen.NamedGraph, sizes []int) error {
-	algs := ByClass(class)
+// Figure2 reproduces the average-NSL-vs-size curves for the UNC (a),
+// BNP (b) and APN (c) classes on the RGNOS suite. All three
+// sub-figures are planned as one cell batch so the pool never drains
+// between panels.
+func Figure2(cfg Config) error {
+	bySize := suiteCacheFor(cfg).rgnosSuite(cfg)
+	sizes := rgnosSizes(cfg.Scale)
+	topo := apnTopology()
+	parts := []struct {
+		sub   string
+		class Class
+	}{{"a", UNC}, {"b", BNP}, {"c", APN}}
+	var p plan[Result]
+	for _, part := range parts {
+		for _, v := range sizes {
+			for _, a := range ByClass(part.class) {
+				for _, ng := range bySize[v] {
+					runCell(&p, "fig2", a, ng, BNPProcs(v), topo)
+				}
+			}
+		}
+	}
+	results, err := p.run(cfg)
+	if err != nil {
+		return err
+	}
 	xs := make([]string, len(sizes))
 	for i, v := range sizes {
 		xs[i] = fmt.Sprint(v)
 	}
-	s := table.NewSeries(fmt.Sprintf("(%s) average NSL, %s algorithms", sub, class), "v", xs...)
-	topo := apnTopology()
-	for i, v := range sizes {
-		for _, a := range algs {
-			var total float64
-			for _, ng := range bySize[v] {
-				res, err := a.Run(ng.G, BNPProcs(v), topo)
-				if err != nil {
-					return fmt.Errorf("fig: %s on %s: %w", a.Name, ng.Name, err)
+	cur := cursor[Result]{rs: results}
+	for _, part := range parts {
+		s := table.NewSeries(fmt.Sprintf("(%s) average NSL, %s algorithms", part.sub, part.class), "v", xs...)
+		for i, v := range sizes {
+			for _, a := range ByClass(part.class) {
+				var total float64
+				for range bySize[v] {
+					total += cur.next().NSL
 				}
-				total += res.NSL
+				if n := len(bySize[v]); n > 0 {
+					s.Set(a.Name, i, total/float64(n))
+				} else {
+					s.Set(a.Name, i, 0)
+				}
 			}
-			s.Set(a.Name, i, total/float64(len(bySize[v])))
 		}
-	}
-	return s.Render(cfg.Out)
-}
-
-// Figure2 reproduces the average-NSL-vs-size curves for the UNC (a),
-// BNP (b) and APN (c) classes on the RGNOS suite.
-func Figure2(cfg Config) error {
-	bySize := rgnosSuite(cfg)
-	sizes := rgnosSizes(cfg.Scale)
-	for _, part := range []struct {
-		sub   string
-		class Class
-	}{{"a", UNC}, {"b", BNP}, {"c", APN}} {
-		if err := classNSLSeries(cfg, part.sub, part.class, bySize, sizes); err != nil {
+		if err := s.Render(cfg.Out); err != nil {
 			return err
 		}
 	}
@@ -383,28 +399,44 @@ func Figure2(cfg Config) error {
 // Figure3 reproduces the average-processors-used curves for the UNC (a)
 // and BNP (b) classes on the RGNOS suite.
 func Figure3(cfg Config) error {
-	bySize := rgnosSuite(cfg)
+	bySize := suiteCacheFor(cfg).rgnosSuite(cfg)
 	sizes := rgnosSizes(cfg.Scale)
+	parts := []struct {
+		sub   string
+		class Class
+	}{{"a", UNC}, {"b", BNP}}
+	var p plan[Result]
+	for _, part := range parts {
+		for _, v := range sizes {
+			for _, a := range ByClass(part.class) {
+				for _, ng := range bySize[v] {
+					runCell(&p, "fig3", a, ng, BNPProcs(v), nil)
+				}
+			}
+		}
+	}
+	results, err := p.run(cfg)
+	if err != nil {
+		return err
+	}
 	xs := make([]string, len(sizes))
 	for i, v := range sizes {
 		xs[i] = fmt.Sprint(v)
 	}
-	for _, part := range []struct {
-		sub   string
-		class Class
-	}{{"a", UNC}, {"b", BNP}} {
+	cur := cursor[Result]{rs: results}
+	for _, part := range parts {
 		s := table.NewSeries(fmt.Sprintf("(%s) average processors used, %s algorithms", part.sub, part.class), "v", xs...)
 		for i, v := range sizes {
 			for _, a := range ByClass(part.class) {
 				var total int
-				for _, ng := range bySize[v] {
-					res, err := a.Run(ng.G, BNPProcs(v), nil)
-					if err != nil {
-						return fmt.Errorf("fig3: %s on %s: %w", a.Name, ng.Name, err)
-					}
-					total += res.Procs
+				for range bySize[v] {
+					total += cur.next().Procs
 				}
-				s.Set(a.Name, i, float64(total)/float64(len(bySize[v])))
+				if n := len(bySize[v]); n > 0 {
+					s.Set(a.Name, i, float64(total)/float64(n))
+				} else {
+					s.Set(a.Name, i, 0)
+				}
 			}
 		}
 		if err := s.Render(cfg.Out); err != nil {
@@ -419,28 +451,38 @@ func Figure3(cfg Config) error {
 func Figure4(cfg Config) error {
 	dims := choleskyDims(cfg.Scale)
 	xs := make([]string, len(dims))
-	graphs := make([]*dag.Graph, len(dims))
+	graphs := make([]gen.NamedGraph, len(dims))
 	for i, n := range dims {
 		g, err := gen.Cholesky(n, 1.0)
 		if err != nil {
 			return err
 		}
-		graphs[i] = g
 		xs[i] = fmt.Sprint(n)
+		graphs[i] = gen.NamedGraph{Name: "cholesky-" + xs[i], G: g}
 	}
 	topo := apnTopology()
-	for _, part := range []struct {
+	parts := []struct {
 		sub   string
 		class Class
-	}{{"a", UNC}, {"b", BNP}, {"c", APN}} {
-		s := table.NewSeries(fmt.Sprintf("(%s) average NSL on Cholesky graphs, %s algorithms", part.sub, part.class), "N", xs...)
-		for i, g := range graphs {
+	}{{"a", UNC}, {"b", BNP}, {"c", APN}}
+	var p plan[Result]
+	for _, part := range parts {
+		for _, ng := range graphs {
 			for _, a := range ByClass(part.class) {
-				res, err := a.Run(g, BNPProcs(g.NumNodes()), topo)
-				if err != nil {
-					return fmt.Errorf("fig4: %s on cholesky-%s: %w", a.Name, xs[i], err)
-				}
-				s.Set(a.Name, i, res.NSL)
+				runCell(&p, "fig4", a, ng, BNPProcs(ng.G.NumNodes()), topo)
+			}
+		}
+	}
+	results, err := p.run(cfg)
+	if err != nil {
+		return err
+	}
+	cur := cursor[Result]{rs: results}
+	for _, part := range parts {
+		s := table.NewSeries(fmt.Sprintf("(%s) average NSL on Cholesky graphs, %s algorithms", part.sub, part.class), "N", xs...)
+		for i := range graphs {
+			for _, a := range ByClass(part.class) {
+				s.Set(a.Name, i, cur.next().NSL)
 			}
 		}
 		if err := s.Render(cfg.Out); err != nil {
@@ -448,14 +490,4 @@ func Figure4(cfg Config) error {
 		}
 	}
 	return nil
-}
-
-// sortedSizes is a small helper for deterministic map iteration in tests.
-func sortedSizes(m map[int][]gen.NamedGraph) []int {
-	out := make([]int, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Ints(out)
-	return out
 }

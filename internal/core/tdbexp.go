@@ -11,6 +11,12 @@ import (
 	"repro/internal/table"
 )
 
+// tdbRun is the measurement of one generated workload graph.
+type tdbRun struct {
+	hlfet, mcp, dsh float64 // NSL per scheduler
+	copies          int     // extra task copies DSH placed
+}
+
 // TDB runs the duplication extension study: the paper's taxonomy
 // (section 4) explains that TDB algorithms "reduce the communication
 // overhead by redundantly allocating some nodes to multiple processors"
@@ -19,54 +25,73 @@ import (
 // non-duplicating base HLFET and the best BNP algorithm MCP across the
 // CCR range on out-tree-rich workloads, where duplication matters most.
 func TDB(cfg Config) error {
-	t := table.New("Task duplication (DSH) vs non-duplication (HLFET, MCP): average NSL on 8 processors",
-		"CCR", "workload", "HLFET", "MCP", "DSH", "dup copies")
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	reps := 3
 	if cfg.Scale == Full {
 		reps = 10
 	}
-	for _, ccr := range []float64{0.1, 1.0, 10.0} {
-		workloads := map[string]func() *dag.Graph{
-			"out-tree": func() *dag.Graph {
-				g, err := gen.OutTree(rng, 4, 3, ccr)
-				if err != nil {
-					panic(err)
+	ccrs := []float64{0.1, 1.0, 10.0}
+	workloads := []string{"out-tree", "fork-join"}
+
+	// Generate every graph serially first — the rng is one sequential
+	// stream — then fan the scheduling runs out as cells.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var p plan[tdbRun]
+	for _, ccr := range ccrs {
+		for _, name := range workloads {
+			for r := 0; r < reps; r++ {
+				var (
+					g   *dag.Graph
+					err error
+				)
+				switch name {
+				case "out-tree":
+					g, err = gen.OutTree(rng, 4, 3, ccr)
+				case "fork-join":
+					g, err = gen.ForkJoin(rng, 3, 6, ccr)
 				}
-				return g
-			},
-			"fork-join": func() *dag.Graph {
-				g, err := gen.ForkJoin(rng, 3, 6, ccr)
 				if err != nil {
-					panic(err)
+					return fmt.Errorf("tdb: %w", err)
 				}
-				return g
-			},
+				p.add(func() (tdbRun, error) {
+					h, err := bnp.HLFET(g, 8)
+					if err != nil {
+						return tdbRun{}, fmt.Errorf("tdb: %w", err)
+					}
+					m, err := bnp.MCP(g, 8)
+					if err != nil {
+						return tdbRun{}, fmt.Errorf("tdb: %w", err)
+					}
+					d, err := tdb.DSH(g, 8)
+					if err != nil {
+						return tdbRun{}, fmt.Errorf("tdb: %w", err)
+					}
+					run := tdbRun{hlfet: h.NSL(), mcp: m.NSL(), dsh: d.NSL()}
+					for v := 0; v < g.NumNodes(); v++ {
+						run.copies += len(d.Copies(dag.NodeID(v))) - 1
+					}
+					return run, nil
+				})
+			}
 		}
-		for _, name := range []string{"out-tree", "fork-join"} {
-			makeGraph := workloads[name]
+	}
+	results, err := p.run(cfg)
+	if err != nil {
+		return err
+	}
+
+	t := table.New("Task duplication (DSH) vs non-duplication (HLFET, MCP): average NSL on 8 processors",
+		"CCR", "workload", "HLFET", "MCP", "DSH", "dup copies")
+	cur := cursor[tdbRun]{rs: results}
+	for _, ccr := range ccrs {
+		for _, name := range workloads {
 			var hl, mcp, dsh float64
 			copies := 0
 			for r := 0; r < reps; r++ {
-				g := makeGraph()
-				h, err := bnp.HLFET(g, 8)
-				if err != nil {
-					return fmt.Errorf("tdb: %w", err)
-				}
-				m, err := bnp.MCP(g, 8)
-				if err != nil {
-					return fmt.Errorf("tdb: %w", err)
-				}
-				d, err := tdb.DSH(g, 8)
-				if err != nil {
-					return fmt.Errorf("tdb: %w", err)
-				}
-				hl += h.NSL()
-				mcp += m.NSL()
-				dsh += d.NSL()
-				for v := 0; v < g.NumNodes(); v++ {
-					copies += len(d.Copies(dag.NodeID(v))) - 1
-				}
+				run := cur.next()
+				hl += run.hlfet
+				mcp += run.mcp
+				dsh += run.dsh
+				copies += run.copies
 			}
 			t.AddRow(fmt.Sprintf("%g", ccr), name,
 				fmt.Sprintf("%.3f", hl/float64(reps)),

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/algo/cs"
 	"repro/internal/algo/unc"
+	"repro/internal/gen"
 	"repro/internal/table"
 )
 
@@ -17,8 +18,49 @@ import (
 // pipeline.
 func UNCCS(cfg Config) error {
 	const procs = 8
-	bySize := rgnosSuite(cfg)
+	bySize := suiteCacheFor(cfg).rgnosSuite(cfg)
 	sizes := rgnosSizes(cfg.Scale)
+
+	uncAlgos := unc.Algorithms()
+	mappers := cs.Mappers()
+	// Each cell is one pipeline applied to one graph, planned in the
+	// table's column-major row order: the BNP columns, then every
+	// UNC+CS combination.
+	var p plan[float64]
+	for _, v := range sizes {
+		for _, a := range ByClass(BNP) {
+			for _, ng := range bySize[v] {
+				p.add(func() (float64, error) {
+					res, err := a.Run(ng.G, procs, nil)
+					if err != nil {
+						return 0, fmt.Errorf("unccs: %s on %s: %w", a.Name, ng.Name, err)
+					}
+					return res.NSL, nil
+				})
+			}
+		}
+		for _, u := range Names(UNC) {
+			for _, m := range []string{"SARKAR", "RCP"} {
+				for _, ng := range bySize[v] {
+					p.add(func() (float64, error) {
+						clustering, err := uncAlgos[u](ng.G)
+						if err != nil {
+							return 0, fmt.Errorf("unccs: %s on %s: %w", u, ng.Name, err)
+						}
+						mapped, err := mappers[m](clustering, procs)
+						if err != nil {
+							return 0, fmt.Errorf("unccs: %s+%s on %s: %w", u, m, ng.Name, err)
+						}
+						return mapped.NSL(), nil
+					})
+				}
+			}
+		}
+	}
+	results, err := p.run(cfg)
+	if err != nil {
+		return err
+	}
 
 	pipelines := []string{}
 	for _, a := range ByClass(BNP) {
@@ -29,38 +71,24 @@ func UNCCS(cfg Config) error {
 	}
 	cols := append([]string{"v"}, pipelines...)
 	t := table.New(fmt.Sprintf("BNP vs UNC+CS on %d processors: average NSL", procs), cols...)
-
-	uncAlgos := unc.Algorithms()
-	mappers := cs.Mappers()
+	cur := cursor[float64]{rs: results}
+	avgCell := func(graphs []gen.NamedGraph) string {
+		var total float64
+		for range graphs {
+			total += cur.next()
+		}
+		if len(graphs) == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.3f", total/float64(len(graphs)))
+	}
 	for _, v := range sizes {
 		row := []string{fmt.Sprint(v)}
-		for _, a := range ByClass(BNP) {
-			var total float64
-			for _, ng := range bySize[v] {
-				res, err := a.Run(ng.G, procs, nil)
-				if err != nil {
-					return fmt.Errorf("unccs: %s on %s: %w", a.Name, ng.Name, err)
-				}
-				total += res.NSL
-			}
-			row = append(row, fmt.Sprintf("%.3f", total/float64(len(bySize[v]))))
+		for range ByClass(BNP) {
+			row = append(row, avgCell(bySize[v]))
 		}
-		for _, u := range Names(UNC) {
-			for _, m := range []string{"SARKAR", "RCP"} {
-				var total float64
-				for _, ng := range bySize[v] {
-					clustering, err := uncAlgos[u](ng.G)
-					if err != nil {
-						return fmt.Errorf("unccs: %s on %s: %w", u, ng.Name, err)
-					}
-					mapped, err := mappers[m](clustering, procs)
-					if err != nil {
-						return fmt.Errorf("unccs: %s+%s on %s: %w", u, m, ng.Name, err)
-					}
-					total += mapped.NSL()
-				}
-				row = append(row, fmt.Sprintf("%.3f", total/float64(len(bySize[v]))))
-			}
+		for range Names(UNC) {
+			row = append(row, avgCell(bySize[v]), avgCell(bySize[v]))
 		}
 		t.AddRow(row...)
 	}

@@ -238,8 +238,21 @@ func FFT(points int, ccr float64) (*Graph, error) { return gen.FFT(points, ccr) 
 
 // Experiment harness.
 
-// ExperimentConfig parameterizes a paper experiment run.
+// ExperimentConfig parameterizes a paper experiment run. Workers bounds
+// the number of (algorithm × instance) scheduling cells the harness
+// runs concurrently (<= 0 selects GOMAXPROCS); output is byte-identical
+// for every worker count. Cache optionally shares the generated
+// benchmark suites and RGBOS branch-and-bound optima across runs.
 type ExperimentConfig = core.Config
+
+// SuiteCache shares generated benchmark suites and RGBOS optima across
+// experiment runs with the same seed and scale, so e.g. Tables 2 and 3
+// solve each branch-and-bound optimum exactly once. A nil Cache in
+// ExperimentConfig falls back to a process-wide cache.
+type SuiteCache = core.SuiteCache
+
+// NewSuiteCache returns an empty, isolated suite cache.
+func NewSuiteCache() *SuiteCache { return core.NewSuiteCache() }
 
 // Experiment scales.
 const (
