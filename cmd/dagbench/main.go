@@ -6,8 +6,9 @@
 //	dagbench [-exp id[,id...]] [-scale quick|full] [-seed N] [-workers N]
 //
 // Experiment ids are table1..table6, fig2..fig4, the extension studies
-// unccs and tdb, or all (the default); a comma-separated list runs
-// several in order, e.g. -exp=table2,table3,unccs.
+// unccs, tdb, and genx (the Canon et al. 2019 cross-generator ranking
+// stability study), or all (the default); a comma-separated list runs
+// several in order, e.g. -exp=table2,table3,genx.
 //
 // With -scale=quick (the default) each experiment runs a reduced
 // workload in seconds; -scale=full reproduces the paper's instance
@@ -34,7 +35,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id or comma-separated list (table1..table6, fig2..fig4, unccs, tdb, or all)")
+	exp := flag.String("exp", "all", "experiment id or comma-separated list (table1..table6, fig2..fig4, unccs, tdb, genx, or all)")
 	scale := flag.String("scale", "quick", "workload scale: quick or full")
 	seed := flag.Int64("seed", 1998, "random seed for the benchmark suites")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent scheduling cells (<= 0: GOMAXPROCS)")

@@ -4,66 +4,72 @@
 //
 // Usage:
 //
-//	daggen -suite rgbos  -v 20 -ccr 1.0 [-seed N]        > g.tg
-//	daggen -suite rgnos  -v 100 -ccr 2.0 -parallelism 3  > g.tg
-//	daggen -suite cholesky -n 8 -ccr 1.0                 > g.tg
-//	daggen -suite gauss    -n 6 -ccr 0.5                 > g.tg
-//	daggen -suite fft      -n 16 -ccr 1.0                > g.tg
-//	daggen -suite psg -name kwok-ahmad-9                 > g.tg
+//	daggen -list
+//	daggen -suite <name> [-seed N] [-<param> <value> ...] > g.tg
+//
+// For example:
+//
+//	daggen -suite rgnos -v 100 -ccr 2 -parallelism 3 > g.tg
+//	daggen -suite lu -n 6 -ccr 0.5                   > g.tg
+//	daggen -suite psg -name kwok-ahmad-9             > g.tg
+//
+// The suite names, their parameter flags, and the usage text are all
+// generated from the generator registry (see the repro package's
+// Generators), so the documentation cannot drift from the registered
+// suites: registering a new family makes it available here with its
+// flags and help for free.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
+	"sort"
+	"strings"
 
 	taskgraph "repro"
 	"repro/internal/dag"
-	"repro/internal/gen"
 )
 
 func main() {
-	suite := flag.String("suite", "rgnos", "rgbos, rgnos, cholesky, gauss, fft, or psg")
-	v := flag.Int("v", 50, "node count (rgbos, rgnos)")
-	n := flag.Int("n", 8, "matrix dimension / point count (cholesky, gauss, fft)")
-	ccr := flag.Float64("ccr", 1.0, "communication-to-computation ratio")
-	parallelism := flag.Int("parallelism", 3, "RGNOS width parameter (1..5)")
+	suite := flag.String("suite", "", "generator name (see -list)")
 	seed := flag.Int64("seed", 1, "random seed")
-	name := flag.String("name", "", "PSG graph name (with -suite psg); empty lists names")
+	list := flag.Bool("list", false, "list the registered generators and their parameters")
+
+	// One flag per distinct registry parameter, shared across the suites
+	// that declare it; the help text names the suites using each flag.
+	gens := taskgraph.Generators()
+	paramFlags := map[string]*string{}
+	for _, name := range paramNames(gens) {
+		doc, def, suites := paramHelp(gens, name)
+		paramFlags[name] = flag.String(name, "", fmt.Sprintf("%s (default %s) [%s]", doc, def, strings.Join(suites, ", ")))
+	}
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "Usage: daggen -suite <name> [-seed N] [-<param> <value> ...] > g.tg")
+		fmt.Fprintln(os.Stderr, "\nRegistered suites (daggen -list for parameter details):")
+		for _, g := range gens {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", g.Name, g.Doc)
+		}
+		fmt.Fprintln(os.Stderr, "\nFlags:")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
-	rng := rand.New(rand.NewSource(*seed))
-	var g *dag.Graph
-	var err error
-	switch *suite {
-	case "rgbos":
-		g = gen.RGBOSGraph(rng, *v, *ccr)
-	case "rgnos":
-		g = gen.RGNOSGraph(rng, *v, *ccr, *parallelism)
-	case "cholesky":
-		g, err = taskgraph.Cholesky(*n, *ccr)
-	case "gauss":
-		g, err = taskgraph.GaussianElimination(*n, *ccr)
-	case "fft":
-		g, err = taskgraph.FFT(*n, *ccr)
-	case "psg":
-		for _, ng := range taskgraph.PeerSet() {
-			if ng.Name == *name {
-				g = ng.G
-				break
-			}
-		}
-		if g == nil {
-			fmt.Fprintln(os.Stderr, "daggen: available PSG names:")
-			for _, ng := range taskgraph.PeerSet() {
-				fmt.Fprintf(os.Stderr, "  %-20s %s\n", ng.Name, ng.Source)
-			}
-			os.Exit(2)
-		}
-	default:
-		fail(fmt.Errorf("unknown suite %q", *suite))
+	if *list {
+		printRegistry(os.Stdout, gens)
+		return
 	}
+	if *suite == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	params := taskgraph.GeneratorParams{}
+	for name, val := range paramFlags {
+		if *val != "" {
+			params[name] = *val
+		}
+	}
+	g, err := taskgraph.Generate(*suite, *seed, params)
 	if err != nil {
 		fail(err)
 	}
@@ -71,6 +77,69 @@ func main() {
 	fmt.Fprintf(os.Stderr, "daggen: %s\n", st)
 	if err := taskgraph.WriteGraph(os.Stdout, g); err != nil {
 		fail(err)
+	}
+}
+
+// paramNames returns the union of parameter names over all generators,
+// sorted for stable flag registration.
+func paramNames(gens []taskgraph.Generator) []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, g := range gens {
+		for _, ps := range g.Params {
+			if !seen[ps.Name] {
+				seen[ps.Name] = true
+				names = append(names, ps.Name)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// paramHelp returns the shared doc line and default of a parameter (or
+// a pointer to -list when the declaring suites disagree on either) and
+// the names of all suites that accept it.
+func paramHelp(gens []taskgraph.Generator, name string) (doc, def string, suites []string) {
+	first := true
+	for _, g := range gens {
+		for _, ps := range g.Params {
+			if ps.Name != name {
+				continue
+			}
+			if first {
+				first = false
+				doc, def = ps.Doc, ps.Default
+			} else {
+				if doc != ps.Doc {
+					doc = "meaning depends on the suite, see -list"
+				}
+				if def != ps.Default {
+					def = "per suite, see -list"
+				}
+			}
+			suites = append(suites, g.Name)
+		}
+	}
+	if def == "" {
+		def = `""`
+	}
+	return doc, def, suites
+}
+
+// printRegistry writes the full generator catalog with per-suite
+// parameters, kinds, and defaults.
+func printRegistry(w *os.File, gens []taskgraph.Generator) {
+	for _, g := range gens {
+		fmt.Fprintf(w, "%s — %s\n", g.Name, g.Doc)
+		fmt.Fprintf(w, "    source: %s\n", g.Source)
+		for _, ps := range g.Params {
+			def := ps.Default
+			if def == "" {
+				def = `""`
+			}
+			fmt.Fprintf(w, "    -%-12s %-7s default %-6s %s\n", ps.Name, ps.Kind, def, ps.Doc)
+		}
 	}
 }
 

@@ -27,6 +27,7 @@ type SuiteCache struct {
 	rgbos map[suiteKey]map[float64][]degradationInstance
 	rgpos map[suiteKey]map[float64][]degradationInstance
 	rgnos map[suiteKey]map[int][]gen.NamedGraph
+	genx  map[suiteKey]map[string][]gen.NamedGraph
 }
 
 type suiteKey struct {
@@ -40,6 +41,7 @@ func NewSuiteCache() *SuiteCache {
 		rgbos: map[suiteKey]map[float64][]degradationInstance{},
 		rgpos: map[suiteKey]map[float64][]degradationInstance{},
 		rgnos: map[suiteKey]map[int][]gen.NamedGraph{},
+		genx:  map[suiteKey]map[string][]gen.NamedGraph{},
 	}
 }
 
@@ -146,6 +148,52 @@ func (c *SuiteCache) rgposInstances(cfg Config) map[float64][]degradationInstanc
 	}
 	c.rgpos[k] = out
 	return out
+}
+
+// genxSuite returns the cross-generator study's instances grouped by
+// family name, generating them on the first request for (seed, scale).
+// Every registered random family contributes the same matched grid of
+// (size, CCR, instance) points; per-instance seeds are mixed from the
+// run seed and the point coordinates, so the suite is deterministic and
+// no two points share a generator stream.
+func (c *SuiteCache) genxSuite(cfg Config) (map[string][]gen.NamedGraph, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := c.key(cfg)
+	if got, ok := c.genx[k]; ok {
+		return got, nil
+	}
+	sizes, ccrs, instances := genxPoints(cfg.Scale)
+	byFam := map[string][]gen.NamedGraph{}
+	for fi, f := range gen.RandomFamilies() {
+		for _, v := range sizes {
+			for ci, ccr := range ccrs {
+				for i := 0; i < instances; i++ {
+					// Distinct large-prime strides keep the mixed seeds
+					// unique across the four grid coordinates.
+					seed := cfg.Seed +
+						int64(fi+1)*1_000_003 +
+						int64(v)*7_919 +
+						int64(ci+1)*104_729 +
+						int64(i+1)*15_485_863
+					g, err := gen.Generate(f.Name, seed, gen.Params{
+						"v":   fmt.Sprint(v),
+						"ccr": fmt.Sprintf("%g", ccr),
+					})
+					if err != nil {
+						return nil, fmt.Errorf("genx: %s v=%d ccr=%g: %w", f.Name, v, ccr, err)
+					}
+					byFam[f.Name] = append(byFam[f.Name], gen.NamedGraph{
+						Name:   fmt.Sprintf("%s-v%d-ccr%g-i%d", f.Name, v, ccr, i),
+						Source: fmt.Sprintf("%s seed=%d", f.Source, seed),
+						G:      g,
+					})
+				}
+			}
+		}
+	}
+	c.genx[k] = byFam
+	return byFam, nil
 }
 
 // rgnosSuite returns the RGNOS graphs grouped by size, generating them

@@ -64,6 +64,7 @@ func Experiments() []Experiment {
 		{"fig4", "Figure 4: average NSL on Cholesky traced graphs (UNC, BNP, APN)", Figure4},
 		{"unccs", "Extension (paper section 7): BNP vs UNC + cluster scheduling", UNCCS},
 		{"tdb", "Extension (paper section 4): task duplication (DSH) vs non-duplication", TDB},
+		{"genx", "Extension (Canon et al. 2019): cross-generator ranking stability of the BNP algorithms", GenX},
 	}
 }
 

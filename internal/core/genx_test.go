@@ -1,0 +1,91 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestKendallTau(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want float64
+	}{
+		{[]int{1, 2, 3, 4}, []int{1, 2, 3, 4}, 1},
+		{[]int{1, 2, 3, 4}, []int{4, 3, 2, 1}, -1},
+		{[]int{1, 2}, []int{2, 1}, -1},
+		{[]int{1}, []int{1}, 1},
+		// One adjacent swap in 4 items: 5 of 6 pairs concordant.
+		{[]int{1, 2, 3, 4}, []int{2, 1, 3, 4}, 4.0 / 6.0},
+	}
+	for _, c := range cases {
+		if got := kendallTau(c.a, c.b); got != c.want {
+			t.Errorf("kendallTau(%v, %v) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRankAscending(t *testing.T) {
+	got := rankAscending([]float64{3.5, 1.0, 2.0})
+	want := []int{3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rankAscending = %v, want %v", got, want)
+		}
+	}
+	// Ties keep canonical (index) order.
+	got = rankAscending([]float64{2.0, 1.0, 1.0})
+	want = []int{3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rankAscending with ties = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestGenXOutput runs the study at quick scale and checks the report
+// covers every registered random family, the per-family tau column, and
+// the overall stability line the acceptance criteria ask for.
+func TestGenXOutput(t *testing.T) {
+	out := runForOutput(t, "genx", 4, NewSuiteCache())
+	fams := gen.RandomFamilies()
+	if len(fams) < 4 {
+		t.Fatalf("only %d random families registered, want >= 4", len(fams))
+	}
+	for _, f := range fams {
+		if !strings.Contains(out, f.Name) {
+			t.Errorf("genx output missing family %q:\n%s", f.Name, out)
+		}
+	}
+	for _, needle := range []string{"tau", "consensus", "mean pairwise Kendall-tau"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("genx output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+// TestGenXSuiteCached verifies the genx instances are generated once per
+// (seed, scale) and shared through the cache.
+func TestGenXSuiteCached(t *testing.T) {
+	cache := NewSuiteCache()
+	cfg := Config{Seed: 5, Scale: Quick, Cache: cache}
+	a, err := cache.genxSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cache.genxSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fam := range a {
+		if len(a[fam]) == 0 {
+			t.Fatalf("family %s has no instances", fam)
+		}
+		for i := range a[fam] {
+			if a[fam][i].G != b[fam][i].G {
+				t.Fatalf("family %s instance %d regenerated instead of cached", fam, i)
+			}
+		}
+	}
+}

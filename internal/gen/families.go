@@ -1,0 +1,327 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dag"
+)
+
+// This file implements the three random-DAG families of Canon, Héam &
+// Philippe, "A Comparison of Random Task Graph Generation Methods for
+// Scheduling Problems" (Euro-Par 2019): layer-by-layer, Erdős–Rényi,
+// and fan-in/fan-out. Canon et al. show scheduler rankings are
+// sensitive to the generation method, which is why the registry carries
+// all of them side by side with the paper's own suites — the genx
+// experiment quantifies exactly that sensitivity. Costs follow the
+// suite distributions (node costs uniform with mean 40, edge costs
+// uniform with mean 40·CCR) so instances from different families are
+// comparable at matched (size, CCR) points.
+
+func init() {
+	Register(Generator{
+		Name:   "layered",
+		Doc:    "layer-by-layer random DAGs: uniform layer assignment, consecutive-layer edges with probability p",
+		Source: "Tobita & Kasahara (2002), as surveyed by Canon et al. (2019)",
+		Random: true,
+		Params: []ParamSpec{
+			{Name: "v", Kind: IntParam, Default: "50", Doc: "node count"},
+			ccrParam(),
+			{Name: "layers", Kind: IntParam, Default: "0", Doc: "layer count (0 selects round(sqrt(v)))"},
+			{Name: "p", Kind: FloatParam, Default: "0.25", Doc: "edge probability between consecutive layers"},
+			{Name: "connect", Kind: BoolParam, Default: "true", Doc: "link weakly connected components into one"},
+		},
+		Fn: func(seed int64, p Resolved) (*dag.Graph, error) {
+			rng := rand.New(rand.NewSource(seed))
+			return LayerByLayer(rng, p.Int("v"), p.Int("layers"), p.Float("p"), p.Float("ccr"), p.Bool("connect"))
+		},
+	})
+	Register(Generator{
+		Name:   "erdos",
+		Doc:    "Erdős–Rényi random DAGs: each forward pair (i, j), i < j, is an edge with probability p",
+		Source: "Erdős & Rényi (1959) DAG variant, as surveyed by Canon et al. (2019)",
+		Random: true,
+		Params: []ParamSpec{
+			{Name: "v", Kind: IntParam, Default: "50", Doc: "node count"},
+			ccrParam(),
+			{Name: "p", Kind: FloatParam, Default: "0.1", Doc: "edge probability per forward node pair"},
+			{Name: "connect", Kind: BoolParam, Default: "true", Doc: "link weakly connected components into one"},
+		},
+		Fn: func(seed int64, p Resolved) (*dag.Graph, error) {
+			rng := rand.New(rand.NewSource(seed))
+			return ErdosRenyi(rng, p.Int("v"), p.Float("p"), p.Float("ccr"), p.Bool("connect"))
+		},
+	})
+	Register(Generator{
+		Name:   "faninout",
+		Doc:    "fan-in/fan-out random DAGs grown by randomly interleaved expansion and contraction steps",
+		Source: "Dick, Rhodes & Wolf (TGFF, 1998), as surveyed by Canon et al. (2019)",
+		Random: true,
+		Params: []ParamSpec{
+			{Name: "v", Kind: IntParam, Default: "50", Doc: "node count"},
+			ccrParam(),
+			{Name: "maxout", Kind: IntParam, Default: "3", Doc: "maximum children added per fan-out step"},
+			{Name: "maxin", Kind: IntParam, Default: "3", Doc: "maximum parents joined per fan-in step"},
+		},
+		Fn: func(seed int64, p Resolved) (*dag.Graph, error) {
+			rng := rand.New(rand.NewSource(seed))
+			return FanInFanOut(rng, p.Int("v"), p.Int("maxout"), p.Int("maxin"), p.Float("ccr"))
+		},
+	})
+}
+
+// LayerByLayer builds a layer-by-layer random DAG: v nodes are assigned
+// to layers uniformly at random, and each pair of nodes in consecutive
+// layers is linked with probability p (edges point from the earlier
+// layer to the later one, so the result is acyclic by construction).
+// layers <= 0 selects round(sqrt(v)), which balances depth against
+// width. With connect, the weakly connected components are afterwards
+// linked into a single component by extra edges that also only join
+// consecutive layers, preserving the family's layered structure; since
+// a single-layer graph of several nodes admits no legal stitch at all,
+// requesting connect for one is an error rather than a silent no-op.
+func LayerByLayer(rng *rand.Rand, v, layers int, p, ccr float64, connect bool) (*dag.Graph, error) {
+	if v < 1 {
+		return nil, fmt.Errorf("gen: LayerByLayer needs v >= 1, got %d", v)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("gen: LayerByLayer needs p in [0,1], got %g", p)
+	}
+	if layers <= 0 {
+		layers = int(math.Round(math.Sqrt(float64(v))))
+		if layers < 2 && v > 1 {
+			layers = 2 // auto-selection must leave connect feasible
+		}
+	}
+	if layers > v {
+		layers = v
+	}
+	if connect && layers == 1 && v > 1 {
+		return nil, fmt.Errorf("gen: LayerByLayer cannot connect a single-layer graph of %d nodes (edges only join consecutive layers); set connect=false or layers >= 2", v)
+	}
+	// Draw each node's layer, then materialize nodes in layer order so
+	// every edge goes from a lower to a higher node ID.
+	counts := make([]int, layers)
+	for i := 0; i < v; i++ {
+		counts[rng.Intn(layers)]++
+	}
+	if connect && v > 1 {
+		// The multinomial draw can concentrate every node in one layer
+		// (likely only for tiny v); connect needs at least two non-empty
+		// layers, so shift one node to a neighboring layer.
+		nonEmpty, last := 0, 0
+		for i, c := range counts {
+			if c > 0 {
+				nonEmpty++
+				last = i
+			}
+		}
+		if nonEmpty == 1 {
+			counts[last]--
+			if last+1 < layers {
+				counts[last+1]++
+			} else {
+				counts[last-1]++
+			}
+		}
+	}
+	b := dag.NewBuilder()
+	var layerNodes [][]dag.NodeID
+	for _, c := range counts {
+		if c == 0 {
+			continue // empty layers collapse; consecutive means adjacent non-empty
+		}
+		layer := make([]dag.NodeID, c)
+		for i := range layer {
+			layer[i] = b.AddNode(uniformCost(rng, meanNodeCost, 2))
+		}
+		layerNodes = append(layerNodes, layer)
+	}
+	cm := commMean(ccr)
+	linked := newLinkTracker(v)
+	for k := 1; k < len(layerNodes); k++ {
+		for _, u := range layerNodes[k-1] {
+			for _, w := range layerNodes[k] {
+				if rng.Float64() < p {
+					b.AddEdge(u, w, uniformCost(rng, cm, 1))
+					linked.union(u, w)
+				}
+			}
+		}
+	}
+	if connect {
+		connectLayers(b, rng, cm, layerNodes, linked)
+	}
+	return b.Build()
+}
+
+// connectLayers links the weakly connected components of a layered
+// graph into one without breaking the family's invariant that edges
+// only join consecutive layers. Pass one walks layers top-down and
+// attaches every node not yet reachable from the root component to a
+// parent that is — for layer 1 that parent set starts as just the first
+// node, for deeper layers the whole previous layer qualifies — so
+// afterwards every node below layer 0 is connected. Pass two attaches
+// the remaining layer-0 nodes to a layer-1 node. A chosen partner is
+// always in the opposite component, so no stitch can duplicate an
+// existing edge, and every stitch points from a lower to a higher node
+// ID, preserving acyclicity.
+func connectLayers(b *dag.Builder, rng *rand.Rand, commMean int64, layers [][]dag.NodeID, linked *linkTracker) {
+	if len(layers) < 2 {
+		return
+	}
+	root := layers[0][0]
+	inRoot := func(n dag.NodeID) bool { return linked.find(int(n)) == linked.find(int(root)) }
+	for k := 1; k < len(layers); k++ {
+		var candidates []dag.NodeID
+		for _, w := range layers[k] {
+			if inRoot(w) {
+				continue
+			}
+			candidates = candidates[:0]
+			for _, u := range layers[k-1] {
+				if inRoot(u) {
+					candidates = append(candidates, u)
+				}
+			}
+			u := candidates[rng.Intn(len(candidates))]
+			b.AddEdge(u, w, uniformCost(rng, commMean, 1))
+			linked.union(u, w)
+		}
+	}
+	for _, x := range layers[0] {
+		if !inRoot(x) {
+			w := layers[1][rng.Intn(len(layers[1]))]
+			b.AddEdge(x, w, uniformCost(rng, commMean, 1))
+			linked.union(x, w)
+		}
+	}
+}
+
+// ErdosRenyi builds the DAG variant of an Erdős–Rényi random graph on v
+// nodes: for every ordered pair (i, j) with i < j, the edge i→j exists
+// with probability p. The fixed node order makes the result acyclic.
+// With connect, weakly connected components are linked into one.
+func ErdosRenyi(rng *rand.Rand, v int, p, ccr float64, connect bool) (*dag.Graph, error) {
+	if v < 1 {
+		return nil, fmt.Errorf("gen: ErdosRenyi needs v >= 1, got %d", v)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("gen: ErdosRenyi needs p in [0,1], got %g", p)
+	}
+	b := dag.NewBuilder()
+	for i := 0; i < v; i++ {
+		b.AddNode(uniformCost(rng, meanNodeCost, 2))
+	}
+	cm := commMean(ccr)
+	linked := newLinkTracker(v)
+	for i := 0; i < v; i++ {
+		for j := i + 1; j < v; j++ {
+			if rng.Float64() < p {
+				b.AddEdge(dag.NodeID(i), dag.NodeID(j), uniformCost(rng, cm, 1))
+				linked.union(dag.NodeID(i), dag.NodeID(j))
+			}
+		}
+	}
+	if connect {
+		linked.connect(b, rng, cm)
+	}
+	return b.Build()
+}
+
+// FanInFanOut grows a random DAG from a single root by randomly
+// interleaving two moves (a fair coin per iteration) until v nodes
+// exist: a fan-out step picks a random existing node and attaches up to
+// maxout fresh children; a fan-in step creates one fresh node whose
+// parents are up to maxin distinct existing nodes.
+// Every new node attaches to the existing graph, so the result is a
+// single weakly connected component by construction.
+func FanInFanOut(rng *rand.Rand, v, maxout, maxin int, ccr float64) (*dag.Graph, error) {
+	if v < 1 {
+		return nil, fmt.Errorf("gen: FanInFanOut needs v >= 1, got %d", v)
+	}
+	if maxout < 1 || maxin < 1 {
+		return nil, fmt.Errorf("gen: FanInFanOut needs maxout, maxin >= 1 (got %d, %d)", maxout, maxin)
+	}
+	b := dag.NewBuilder()
+	cm := commMean(ccr)
+	b.AddNode(uniformCost(rng, meanNodeCost, 2))
+	for b.NumNodes() < v {
+		n := b.NumNodes()
+		if rng.Intn(2) == 0 {
+			// Fan-out: expand below a random existing node.
+			parent := dag.NodeID(rng.Intn(n))
+			kids := 1 + rng.Intn(maxout)
+			if kids > v-n {
+				kids = v - n
+			}
+			for c := 0; c < kids; c++ {
+				child := b.AddNode(uniformCost(rng, meanNodeCost, 2))
+				b.AddEdge(parent, child, uniformCost(rng, cm, 1))
+			}
+		} else {
+			// Fan-in: contract several existing nodes into a fresh join.
+			parents := 1 + rng.Intn(maxin)
+			if parents > n {
+				parents = n
+			}
+			seen := map[dag.NodeID]bool{}
+			join := b.AddNode(uniformCost(rng, meanNodeCost, 2))
+			for len(seen) < parents {
+				p := dag.NodeID(rng.Intn(n))
+				if seen[p] {
+					continue
+				}
+				seen[p] = true
+				b.AddEdge(p, join, uniformCost(rng, cm, 1))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// linkTracker is a union-find over node IDs that mirrors the edges a
+// generator adds, so components can afterwards be stitched together
+// without re-deriving the edge set.
+type linkTracker struct {
+	parent []int
+}
+
+func newLinkTracker(n int) *linkTracker {
+	t := &linkTracker{parent: make([]int, n)}
+	for i := range t.parent {
+		t.parent[i] = i
+	}
+	return t
+}
+
+func (t *linkTracker) find(x int) int {
+	for t.parent[x] != x {
+		t.parent[x] = t.parent[t.parent[x]]
+		x = t.parent[x]
+	}
+	return x
+}
+
+func (t *linkTracker) union(a, b dag.NodeID) {
+	ra, rb := t.find(int(a)), t.find(int(b))
+	if ra != rb {
+		t.parent[ra] = rb
+	}
+}
+
+// connect links the remaining weakly connected components into one by
+// walking the nodes in ID order and adding an edge (m-1)→m whenever node
+// m starts a new component. Each added edge merges two components, so
+// exactly components-1 edges are added, and since every generator in
+// this file only creates edges from lower to higher IDs, the extra edges
+// preserve acyclicity.
+func (t *linkTracker) connect(b *dag.Builder, rng *rand.Rand, commMean int64) {
+	for m := 1; m < len(t.parent); m++ {
+		if t.find(m) != t.find(m-1) {
+			b.AddEdge(dag.NodeID(m-1), dag.NodeID(m), uniformCost(rng, commMean, 1))
+			t.union(dag.NodeID(m-1), dag.NodeID(m))
+		}
+	}
+}

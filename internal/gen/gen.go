@@ -13,8 +13,18 @@
 //     factorization (the paper's choice), plus Gaussian elimination and
 //     FFT generators as extensions.
 //
-// All generators are deterministic given their seed, so every experiment
-// in the repository is reproducible.
+// Beyond the paper's suites the package carries the random-DAG families
+// of Canon, Héam & Philippe (Euro-Par 2019) — layer-by-layer,
+// Erdős–Rényi, and fan-in/fan-out — and a tiled-LU traced kernel, so
+// scheduler rankings can be stress-tested across generation methods.
+//
+// Every family is registered in a generator registry (see Register,
+// Generators, Generate): a registered Generator carries its name, a
+// parameter schema with defaults, and a deterministic construction
+// function, which is what cmd/daggen and the cross-generator
+// sensitivity experiment (dagbench -exp genx) enumerate. All generators
+// are deterministic given their seed, so every experiment in the
+// repository is reproducible.
 package gen
 
 import (

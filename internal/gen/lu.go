@@ -1,0 +1,95 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dag"
+)
+
+func init() {
+	Register(Generator{
+		Name:   "lu",
+		Doc:    "traced graph of tiled right-looking LU decomposition on an n x n tile grid",
+		Source: "tiled dense LU without pivoting (cf. PLASMA/DPLASMA task graphs)",
+		Params: []ParamSpec{
+			{Name: "n", Kind: IntParam, Default: "5", Doc: "tile grid dimension (tasks grow as O(n^3))"},
+			ccrParam(),
+		},
+		Fn: func(seed int64, p Resolved) (*dag.Graph, error) {
+			return LU(p.Int("n"), p.Float("ccr"))
+		},
+	})
+}
+
+// LU builds the task graph of tiled right-looking LU decomposition
+// (without pivoting) of a matrix split into an n x n grid of tiles — the
+// third traced kernel next to Cholesky and Gaussian elimination, with a
+// denser O(n^3)-task dependence structure. Step k factors the diagonal
+// tile, solves the remaining tiles of row k and column k against it, and
+// then updates the trailing (n-k) x (n-k) submatrix:
+//
+//   - lu(k): factor tile (k,k); depends on upd(k-1,k,k);
+//   - u(k,j), j > k: triangular solve for tile (k,j); depends on lu(k)
+//     and upd(k-1,k,j);
+//   - l(i,k), i > k: triangular solve for tile (i,k); depends on lu(k)
+//     and upd(k-1,i,k);
+//   - upd(k,i,j), i,j > k: A(i,j) -= L(i,k)·U(k,j); depends on l(i,k),
+//     u(k,j), and upd(k-1,i,j).
+//
+// Task costs follow the per-tile flop ratios of the four kernels
+// (factor : solve : update = 1 : 1.5 : 3); every message carries one
+// tile, so edge costs are a constant scaled by the requested CCR. The
+// graph has a single entry lu(1) and a single exit lu(n), and
+// n + n(n-1) + Σ (n-k)² = O(n³)/3 tasks in total.
+func LU(n int, ccr float64) (*dag.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: LU needs n >= 1, got %d", n)
+	}
+	const unit = 20 // factor-kernel cost; solves are 1.5x, updates 3x
+	comm := int64(math.Round(2 * unit * ccr))
+	if comm < 1 {
+		comm = 1
+	}
+	b := dag.NewBuilder()
+	// prev[i][j] is the task that last wrote tile (i,j) (1-indexed), i.e.
+	// the trailing update of the previous step.
+	prev := make([][]dag.NodeID, n+1)
+	for i := range prev {
+		prev[i] = make([]dag.NodeID, n+1)
+		for j := range prev[i] {
+			prev[i][j] = dag.None
+		}
+	}
+	dep := func(from, to dag.NodeID) {
+		if from != dag.None {
+			b.AddEdge(from, to, comm)
+		}
+	}
+	for k := 1; k <= n; k++ {
+		diag := b.AddLabeledNode(unit, fmt.Sprintf("lu%d", k))
+		dep(prev[k][k], diag)
+		rowSolve := make([]dag.NodeID, n+1)
+		colSolve := make([]dag.NodeID, n+1)
+		for j := k + 1; j <= n; j++ {
+			rowSolve[j] = b.AddLabeledNode(unit*3/2, fmt.Sprintf("u%d_%d", k, j))
+			dep(diag, rowSolve[j])
+			dep(prev[k][j], rowSolve[j])
+		}
+		for i := k + 1; i <= n; i++ {
+			colSolve[i] = b.AddLabeledNode(unit*3/2, fmt.Sprintf("l%d_%d", i, k))
+			dep(diag, colSolve[i])
+			dep(prev[i][k], colSolve[i])
+		}
+		for i := k + 1; i <= n; i++ {
+			for j := k + 1; j <= n; j++ {
+				upd := b.AddLabeledNode(unit*3, fmt.Sprintf("upd%d_%d_%d", k, i, j))
+				dep(colSolve[i], upd)
+				dep(rowSolve[j], upd)
+				dep(prev[i][j], upd)
+				prev[i][j] = upd
+			}
+		}
+	}
+	return b.Build()
+}

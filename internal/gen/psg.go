@@ -1,6 +1,33 @@
 package gen
 
-import "repro/internal/dag"
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dag"
+)
+
+func init() {
+	Register(Generator{
+		Name:   "psg",
+		Doc:    "peer set graphs: fixed small example DAGs from the literature, selected by name",
+		Source: "Kwok & Ahmad (IPPS 1998), section 5.1",
+		Params: []ParamSpec{
+			{Name: "name", Kind: StringParam, Default: "", Doc: "PSG graph name (empty lists the available names)"},
+		},
+		Fn: func(seed int64, p Resolved) (*dag.Graph, error) {
+			want := p.String("name")
+			var names []string
+			for _, ng := range PeerSet() {
+				if ng.Name == want {
+					return ng.G, nil
+				}
+				names = append(names, ng.Name)
+			}
+			return nil, fmt.Errorf("gen: psg needs name=<graph> (have %s)", strings.Join(names, ", "))
+		},
+	})
+}
 
 // PeerSet returns the Peer Set Graphs (PSG) suite: small example task
 // graphs of the kind published alongside the original algorithm papers

@@ -1,0 +1,315 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/dag"
+)
+
+// This file implements the generator registry: every graph family in the
+// package — the paper's five suites and the extension families — is
+// registered as a Generator, so commands and experiments can enumerate,
+// document, and invoke workloads uniformly. Adding a new workload is a
+// one-file job: implement the generator and call Register from an init
+// function next to it.
+
+// ParamKind is the value type of one generator parameter.
+type ParamKind int
+
+// The parameter kinds understood by the registry.
+const (
+	// IntParam is a decimal integer parameter.
+	IntParam ParamKind = iota
+	// FloatParam is a decimal floating-point parameter.
+	FloatParam
+	// BoolParam is a true/false parameter (strconv.ParseBool syntax).
+	BoolParam
+	// StringParam is an uninterpreted text parameter.
+	StringParam
+)
+
+// String returns the kind's name as shown in usage text.
+func (k ParamKind) String() string {
+	switch k {
+	case IntParam:
+		return "int"
+	case FloatParam:
+		return "float"
+	case BoolParam:
+		return "bool"
+	case StringParam:
+		return "string"
+	}
+	return "unknown"
+}
+
+// ParamSpec declares one parameter of a registered generator: its name,
+// kind, textual default, and a one-line description used in generated
+// usage text.
+type ParamSpec struct {
+	Name    string
+	Kind    ParamKind
+	Default string
+	Doc     string
+}
+
+// Params maps parameter names to textual values, as written on a command
+// line. Parameters a generator declares but the caller omits take their
+// declared defaults; parameters the generator does not declare are
+// rejected by Generate.
+type Params map[string]string
+
+// Resolved is a validated parameter set with every declared parameter
+// present, either caller-supplied or defaulted. Generator functions read
+// their parameters through the typed accessors; asking for a parameter
+// that was not declared with the matching kind is a programming error
+// and panics.
+type Resolved struct {
+	ints    map[string]int
+	floats  map[string]float64
+	bools   map[string]bool
+	strings map[string]string
+}
+
+// Int returns a declared IntParam value.
+func (r Resolved) Int(name string) int {
+	v, ok := r.ints[name]
+	if !ok {
+		panic(fmt.Sprintf("gen: no int parameter %q resolved", name))
+	}
+	return v
+}
+
+// Float returns a declared FloatParam value.
+func (r Resolved) Float(name string) float64 {
+	v, ok := r.floats[name]
+	if !ok {
+		panic(fmt.Sprintf("gen: no float parameter %q resolved", name))
+	}
+	return v
+}
+
+// Bool returns a declared BoolParam value.
+func (r Resolved) Bool(name string) bool {
+	v, ok := r.bools[name]
+	if !ok {
+		panic(fmt.Sprintf("gen: no bool parameter %q resolved", name))
+	}
+	return v
+}
+
+// String returns a declared StringParam value.
+func (r Resolved) String(name string) string {
+	v, ok := r.strings[name]
+	if !ok {
+		panic(fmt.Sprintf("gen: no string parameter %q resolved", name))
+	}
+	return v
+}
+
+// Generator is one registered graph family.
+type Generator struct {
+	// Name is the registry key, as accepted by daggen -suite and
+	// Generate. Lowercase, no spaces.
+	Name string
+	// Doc is a one-line description used in generated usage text.
+	Doc string
+	// Source cites the family's origin (paper section or publication).
+	Source string
+	// Random marks a random family parameterized by node count and CCR:
+	// the registry guarantees such a family declares "v" (IntParam) and
+	// "ccr" (FloatParam), which is what the cross-generator sensitivity
+	// study (dagbench -exp genx) relies on to generate matched
+	// (size, CCR) points across families.
+	Random bool
+	// Params declares the accepted parameters and their defaults.
+	Params []ParamSpec
+	// Fn builds one graph. It must be deterministic in (seed, params):
+	// the same inputs yield byte-identical graphs.
+	Fn func(seed int64, p Resolved) (*dag.Graph, error)
+}
+
+// registry holds the registered generators by name. Registration happens
+// in init functions, so no locking is needed after package init.
+var registry = map[string]Generator{}
+
+// reservedParamNames are parameter names claimed by cmd/daggen's own
+// flags (-suite, -seed, -list) or by flag-package conventions (-h,
+// -help). The registry rejects them so the flags daggen auto-generates
+// from parameter schemas can never collide with its built-ins — keeping
+// "register a family and daggen picks it up for free" true for every
+// registration that compiles.
+var reservedParamNames = map[string]bool{
+	"suite": true, "seed": true, "list": true, "h": true, "help": true,
+}
+
+// Register adds a generator to the registry. It panics on invalid or
+// duplicate registrations, since those are programming errors surfaced
+// at package init.
+func Register(g Generator) {
+	if g.Name == "" || g.Fn == nil {
+		panic("gen: Register needs a name and a generator function")
+	}
+	if _, dup := registry[g.Name]; dup {
+		panic(fmt.Sprintf("gen: duplicate generator %q", g.Name))
+	}
+	seen := map[string]bool{}
+	for _, ps := range g.Params {
+		if ps.Name == "" {
+			panic(fmt.Sprintf("gen: %s: parameter without a name", g.Name))
+		}
+		if seen[ps.Name] {
+			panic(fmt.Sprintf("gen: %s: duplicate parameter %q", g.Name, ps.Name))
+		}
+		if reservedParamNames[ps.Name] {
+			panic(fmt.Sprintf("gen: %s: parameter name %q is reserved for command-line use", g.Name, ps.Name))
+		}
+		seen[ps.Name] = true
+		if _, err := parseParam(ps, ps.Default); err != nil {
+			panic(fmt.Sprintf("gen: %s: bad default for %q: %v", g.Name, ps.Name, err))
+		}
+	}
+	if g.Random {
+		ints, floats := false, false
+		for _, ps := range g.Params {
+			ints = ints || (ps.Name == "v" && ps.Kind == IntParam)
+			floats = floats || (ps.Name == "ccr" && ps.Kind == FloatParam)
+		}
+		if !ints || !floats {
+			panic(fmt.Sprintf("gen: random family %q must declare v (int) and ccr (float)", g.Name))
+		}
+	}
+	registry[g.Name] = g
+}
+
+// Generators returns every registered generator, sorted by name.
+func Generators() []Generator {
+	out := make([]Generator, 0, len(registry))
+	for _, g := range registry {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RandomFamilies returns the registered random (v, ccr)-parameterized
+// families, sorted by name.
+func RandomFamilies() []Generator {
+	var out []Generator
+	for _, g := range Generators() {
+		if g.Random {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Lookup returns the generator registered under name.
+func Lookup(name string) (Generator, bool) {
+	g, ok := registry[name]
+	return g, ok
+}
+
+// GeneratorNames returns the registered names, sorted.
+func GeneratorNames() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Generate builds one graph from the named family. Parameters not in p
+// take their declared defaults; unknown parameter names and malformed
+// values are errors. Generation is deterministic in (name, seed, p).
+func Generate(name string, seed int64, p Params) (*dag.Graph, error) {
+	g, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("gen: unknown generator %q (have %v)", name, GeneratorNames())
+	}
+	r, err := g.resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	return g.Fn(seed, r)
+}
+
+// resolve validates p against the generator's parameter specs and fills
+// in defaults.
+func (g Generator) resolve(p Params) (Resolved, error) {
+	specs := map[string]ParamSpec{}
+	for _, ps := range g.Params {
+		specs[ps.Name] = ps
+	}
+	for name := range p {
+		if _, ok := specs[name]; !ok {
+			var have []string
+			for _, ps := range g.Params {
+				have = append(have, ps.Name)
+			}
+			return Resolved{}, fmt.Errorf("gen: %s has no parameter %q (has %v)", g.Name, name, have)
+		}
+	}
+	r := Resolved{
+		ints:    map[string]int{},
+		floats:  map[string]float64{},
+		bools:   map[string]bool{},
+		strings: map[string]string{},
+	}
+	for _, ps := range g.Params {
+		text, given := p[ps.Name]
+		if !given {
+			text = ps.Default
+		}
+		v, err := parseParam(ps, text)
+		if err != nil {
+			return Resolved{}, fmt.Errorf("gen: %s: parameter %s: %v", g.Name, ps.Name, err)
+		}
+		switch ps.Kind {
+		case IntParam:
+			r.ints[ps.Name] = v.(int)
+		case FloatParam:
+			r.floats[ps.Name] = v.(float64)
+		case BoolParam:
+			r.bools[ps.Name] = v.(bool)
+		case StringParam:
+			r.strings[ps.Name] = v.(string)
+		}
+	}
+	return r, nil
+}
+
+// parseParam parses one textual parameter value according to its spec.
+func parseParam(ps ParamSpec, text string) (any, error) {
+	switch ps.Kind {
+	case IntParam:
+		v, err := strconv.Atoi(text)
+		if err != nil {
+			return nil, fmt.Errorf("want an integer, got %q", text)
+		}
+		return v, nil
+	case FloatParam:
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("want a number, got %q", text)
+		}
+		return v, nil
+	case BoolParam:
+		v, err := strconv.ParseBool(text)
+		if err != nil {
+			return nil, fmt.Errorf("want true or false, got %q", text)
+		}
+		return v, nil
+	case StringParam:
+		return text, nil
+	}
+	return nil, fmt.Errorf("unknown parameter kind %d", ps.Kind)
+}
+
+// ccrParam is the CCR parameter spec shared by most generators.
+func ccrParam() ParamSpec {
+	return ParamSpec{Name: "ccr", Kind: FloatParam, Default: "1", Doc: "communication-to-computation ratio"}
+}

@@ -1,0 +1,433 @@
+package gen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dag"
+)
+
+// graphBytes renders a graph in the text exchange format, the byte-level
+// identity used by the determinism tests.
+func graphBytes(t *testing.T, g *dag.Graph) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := dag.WriteText(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// weakComponents counts the weakly connected components of g.
+func weakComponents(g *dag.Graph) int {
+	n := g.NumNodes()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for u := 0; u < n; u++ {
+		for _, a := range g.Succs(dag.NodeID(u)) {
+			ru, rv := find(u), find(int(a.To))
+			if ru != rv {
+				parent[ru] = rv
+			}
+		}
+	}
+	comps := 0
+	for i := 0; i < n; i++ {
+		if find(i) == i {
+			comps++
+		}
+	}
+	return comps
+}
+
+func TestRegistryHasAllFamilies(t *testing.T) {
+	want := []string{
+		"cholesky", "erdos", "faninout", "fft", "gauss",
+		"layered", "lu", "psg", "rgbos", "rgnos", "rgpos",
+	}
+	names := GeneratorNames()
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("registry missing generator %q (have %v)", w, names)
+		}
+	}
+	gens := Generators()
+	for i := 1; i < len(gens); i++ {
+		if gens[i-1].Name >= gens[i].Name {
+			t.Errorf("Generators() not sorted: %q before %q", gens[i-1].Name, gens[i].Name)
+		}
+	}
+	for _, g := range gens {
+		if g.Doc == "" || g.Source == "" {
+			t.Errorf("%s: missing Doc or Source", g.Name)
+		}
+	}
+}
+
+func TestRandomFamiliesDeclareSizeAndCCR(t *testing.T) {
+	fams := RandomFamilies()
+	if len(fams) < 4 {
+		t.Fatalf("only %d random families registered, want >= 4", len(fams))
+	}
+	for _, f := range fams {
+		if _, err := Generate(f.Name, 3, Params{"v": "30", "ccr": "1"}); err != nil {
+			t.Errorf("%s: Generate(v=30, ccr=1): %v", f.Name, err)
+		}
+	}
+}
+
+// TestGenerateDeterministic checks the registry's central contract: the
+// same (name, seed, params) yields byte-identical text-format output,
+// and a different seed yields a different graph for the random families.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, g := range Generators() {
+		if g.Name == "psg" {
+			continue // fixed graphs, selected by name
+		}
+		p := Params{}
+		if g.Random {
+			p["v"] = "40"
+		}
+		a, err := Generate(g.Name, 11, p)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		b, err := Generate(g.Name, 11, p)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if ba, bb := graphBytes(t, a), graphBytes(t, b); ba != bb {
+			t.Errorf("%s: same seed produced different graphs", g.Name)
+		}
+		if !g.Random {
+			continue
+		}
+		c, err := Generate(g.Name, 12, p)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if graphBytes(t, a) == graphBytes(t, c) {
+			t.Errorf("%s: seeds 11 and 12 produced identical graphs (suspicious)", g.Name)
+		}
+	}
+}
+
+// TestGenerateValid checks structural validity (which includes
+// acyclicity) for every family over a parameter spread.
+func TestGenerateValid(t *testing.T) {
+	for _, g := range Generators() {
+		if g.Name == "psg" {
+			continue // covered by TestPeerSetSuite
+		}
+		for seed := int64(1); seed <= 3; seed++ {
+			p := Params{}
+			if g.Random {
+				p["v"] = "60"
+			}
+			built, err := Generate(g.Name, seed, p)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", g.Name, seed, err)
+			}
+			if err := built.Validate(); err != nil {
+				t.Errorf("%s seed %d: %v", g.Name, seed, err)
+			}
+			if g.Random && built.NumNodes() != 60 {
+				t.Errorf("%s seed %d: %d nodes, want 60", g.Name, seed, built.NumNodes())
+			}
+		}
+	}
+}
+
+func TestConnectOptionHonored(t *testing.T) {
+	for _, name := range []string{"layered", "erdos"} {
+		for seed := int64(1); seed <= 5; seed++ {
+			// Sparse settings that would typically leave isolated nodes.
+			g, err := Generate(name, seed, Params{"v": "80", "p": "0.02", "connect": "true"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c := weakComponents(g); c != 1 {
+				t.Errorf("%s seed %d: connect=true left %d components", name, seed, c)
+			}
+		}
+	}
+	// connect=false must leave the raw structure alone: at p=0 the graph
+	// is v isolated nodes.
+	g, err := Generate("erdos", 1, Params{"v": "10", "p": "0", "connect": "false"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := weakComponents(g); c != 10 {
+		t.Errorf("connect=false with p=0: %d components, want 10", c)
+	}
+	// faninout grows from a single root, so it is always one component.
+	g, err = Generate("faninout", 4, Params{"v": "80"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := weakComponents(g); c != 1 {
+		t.Errorf("faninout: %d components, want 1 by construction", c)
+	}
+}
+
+// TestFamiliesCCRAccuracy checks that the realized CCR of every random
+// family tracks the requested one within the suite tolerance (factor 2,
+// as for the original RGBOS test).
+func TestFamiliesCCRAccuracy(t *testing.T) {
+	for _, f := range RandomFamilies() {
+		for _, ccr := range []float64{0.1, 1.0, 10.0} {
+			var total float64
+			n := 0
+			for seed := int64(1); seed <= 5; seed++ {
+				g, err := Generate(f.Name, seed, Params{"v": "100", "ccr": floatText(ccr)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if g.NumEdges() == 0 {
+					continue
+				}
+				total += g.CCR()
+				n++
+			}
+			if n == 0 {
+				t.Fatalf("%s ccr=%g: no instances with edges", f.Name, ccr)
+			}
+			avg := total / float64(n)
+			if avg < ccr/2 || avg > ccr*2 {
+				t.Errorf("%s: requested CCR %g, measured average %.3f (off by more than 2x)", f.Name, ccr, avg)
+			}
+		}
+	}
+}
+
+func floatText(f float64) string {
+	switch f {
+	case 0.1:
+		return "0.1"
+	case 1.0:
+		return "1"
+	case 10.0:
+		return "10"
+	}
+	return "1"
+}
+
+// isGraded reports whether a layer assignment exists in which every
+// edge joins consecutive layers: labels are propagated over the
+// undirected structure (+1 along an edge, -1 against it) and any
+// contradiction falsifies the property.
+func isGraded(g *dag.Graph) bool {
+	n := g.NumNodes()
+	label := make([]int, n)
+	seen := make([]bool, n)
+	for start := 0; start < n; start++ {
+		if seen[start] {
+			continue
+		}
+		seen[start] = true
+		queue := []int{start}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, a := range g.Succs(dag.NodeID(u)) {
+				if !seen[a.To] {
+					seen[a.To] = true
+					label[a.To] = label[u] + 1
+					queue = append(queue, int(a.To))
+				} else if label[a.To] != label[u]+1 {
+					return false
+				}
+			}
+			for _, a := range g.Preds(dag.NodeID(u)) {
+				if !seen[a.To] {
+					seen[a.To] = true
+					label[a.To] = label[u] - 1
+					queue = append(queue, int(a.To))
+				} else if label[a.To] != label[u]-1 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// TestLayeredConnectKeepsLayering checks that the connect option's
+// stitch edges respect the family's consecutive-layer invariant: the
+// connected result must still admit a layer assignment in which every
+// edge spans exactly one layer.
+func TestLayeredConnectKeepsLayering(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		g, err := Generate("layered", seed, Params{"v": "80", "p": "0.02", "connect": "true"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c := weakComponents(g); c != 1 {
+			t.Errorf("seed %d: %d components, want 1", seed, c)
+		}
+		if !isGraded(g) {
+			t.Errorf("seed %d: connect broke the consecutive-layer structure", seed)
+		}
+	}
+	// A single-layer graph of several nodes admits no legal stitch, so
+	// requesting connect must be an explicit error, while connect=false
+	// keeps the degenerate edge-free graph available.
+	if _, err := Generate("layered", 3, Params{"v": "5", "layers": "1", "connect": "true"}); err == nil {
+		t.Error("connect=true with a single layer should error")
+	}
+	g, err := Generate("layered", 3, Params{"v": "5", "layers": "1", "connect": "false"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("single-layer graph has %d edges, want 0", g.NumEdges())
+	}
+	// Tiny graphs must still connect: auto layer selection and the
+	// layer-assignment draw may not leave a single non-empty layer.
+	for seed := int64(1); seed <= 20; seed++ {
+		g, err := Generate("layered", seed, Params{"v": "2"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c := weakComponents(g); c != 1 {
+			t.Errorf("seed %d: v=2 layered graph has %d components, want 1", seed, c)
+		}
+	}
+}
+
+func TestRegisterRejectsReservedParamNames(t *testing.T) {
+	for _, reserved := range []string{"suite", "seed", "list", "h", "help"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register accepted reserved parameter name %q", reserved)
+				}
+			}()
+			Register(Generator{
+				Name:   "bad-" + reserved,
+				Doc:    "x",
+				Source: "x",
+				Params: []ParamSpec{{Name: reserved, Kind: IntParam, Default: "1"}},
+				Fn:     func(int64, Resolved) (*dag.Graph, error) { return nil, nil },
+			})
+		}()
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate("no-such-family", 1, nil); err == nil {
+		t.Error("unknown generator accepted")
+	}
+	if _, err := Generate("rgbos", 1, Params{"parallelism": "3"}); err == nil {
+		t.Error("rgbos accepted a parameter it does not declare")
+	}
+	if _, err := Generate("rgbos", 1, Params{"v": "many"}); err == nil {
+		t.Error("malformed int parameter accepted")
+	}
+	if _, err := Generate("erdos", 1, Params{"p": "1.5"}); err == nil {
+		t.Error("out-of-range edge probability accepted")
+	}
+	if _, err := Generate("erdos", 1, Params{"connect": "maybe"}); err == nil {
+		t.Error("malformed bool parameter accepted")
+	}
+	if _, err := Generate("psg", 1, nil); err == nil {
+		t.Error("psg with no name should error (and list the names)")
+	} else if !strings.Contains(err.Error(), "kwok-ahmad-9") {
+		t.Errorf("psg listing error does not name the graphs: %v", err)
+	}
+	if _, err := Generate("psg", 1, Params{"name": "kwok-ahmad-9"}); err != nil {
+		t.Errorf("psg by name: %v", err)
+	}
+}
+
+func TestLUStructure(t *testing.T) {
+	// Task count: sum over k of 1 + 2(n-k) + (n-k)^2.
+	for _, n := range []int{1, 2, 3, 5} {
+		g, err := LU(n, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for k := 1; k <= n; k++ {
+			m := n - k
+			want += 1 + 2*m + m*m
+		}
+		if g.NumNodes() != want {
+			t.Errorf("LU(%d) has %d tasks, want %d", n, g.NumNodes(), want)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		entries, exits := g.Entries(), g.Exits()
+		if len(entries) != 1 || g.Label(entries[0]) != "lu1" {
+			t.Errorf("LU(%d): entries %v, want only lu1", n, entries)
+		}
+		if len(exits) != 1 {
+			t.Errorf("LU(%d): %d exits, want the final factorization only", n, len(exits))
+		}
+	}
+	if _, err := LU(0, 1.0); err == nil {
+		t.Error("LU accepted n=0")
+	}
+}
+
+func TestLayerByLayerShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g, err := LayerByLayer(rng, 100, 10, 0.3, 1.0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 100 {
+		t.Errorf("node count %d, want 100", g.NumNodes())
+	}
+	// With ~10 nodes per layer and only consecutive-layer edges, depth is
+	// bounded by the layer count.
+	lv := dag.ComputeLevels(g)
+	_ = lv
+	if w := dag.Width(g); w < 5 {
+		t.Errorf("width %d suspiciously small for 10-layer construction", w)
+	}
+	if _, err := LayerByLayer(rng, 0, 0, 0.5, 1, true); err == nil {
+		t.Error("accepted v=0")
+	}
+	if _, err := LayerByLayer(rng, 10, 0, 1.5, 1, true); err == nil {
+		t.Error("accepted p>1")
+	}
+}
+
+func TestFanInFanOutDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g, err := FanInFanOut(rng, 200, 4, 3, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 200 {
+		t.Fatalf("node count %d, want 200", g.NumNodes())
+	}
+	// Fan-out children get exactly one parent and fan-in joins at most
+	// maxin, so in-degree is hard-bounded by maxin. (Out-degree is not: a
+	// node can be picked for fan-out repeatedly.)
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := g.InDegree(dag.NodeID(v)); d > 3 {
+			t.Fatalf("node %d has in-degree %d, want <= maxin=3", v, d)
+		}
+	}
+	if _, err := FanInFanOut(rng, 10, 0, 1, 1); err == nil {
+		t.Error("accepted maxout=0")
+	}
+}

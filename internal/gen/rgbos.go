@@ -7,6 +7,26 @@ import (
 	"repro/internal/dag"
 )
 
+func init() {
+	Register(Generator{
+		Name:   "rgbos",
+		Doc:    "RGBOS-style random graphs: mean fanout v/10, node costs U[2,78]",
+		Source: "Kwok & Ahmad (IPPS 1998), section 5.2",
+		Random: true,
+		Params: []ParamSpec{
+			{Name: "v", Kind: IntParam, Default: "20", Doc: "node count"},
+			ccrParam(),
+		},
+		Fn: func(seed int64, p Resolved) (*dag.Graph, error) {
+			v := p.Int("v")
+			if v < 1 {
+				return nil, fmt.Errorf("gen: rgbos needs v >= 1, got %d", v)
+			}
+			return RGBOSGraph(rand.New(rand.NewSource(seed)), v, p.Float("ccr")), nil
+		},
+	})
+}
+
 // RGBOSConfig parameterizes the "random graphs with branch-and-bound
 // optimal solutions" suite (paper section 5.2).
 type RGBOSConfig struct {

@@ -8,6 +8,27 @@ import (
 	"repro/internal/dag"
 )
 
+func init() {
+	Register(Generator{
+		Name:   "rgnos",
+		Doc:    "RGNOS-style layered random graphs with a width (parallelism) target",
+		Source: "Kwok & Ahmad (IPPS 1998), section 5.4",
+		Random: true,
+		Params: []ParamSpec{
+			{Name: "v", Kind: IntParam, Default: "50", Doc: "node count"},
+			ccrParam(),
+			{Name: "parallelism", Kind: IntParam, Default: "3", Doc: "width parameter (width ≈ parallelism·sqrt(v))"},
+		},
+		Fn: func(seed int64, p Resolved) (*dag.Graph, error) {
+			v := p.Int("v")
+			if v < 1 {
+				return nil, fmt.Errorf("gen: rgnos needs v >= 1, got %d", v)
+			}
+			return RGNOSGraph(rand.New(rand.NewSource(seed)), v, p.Float("ccr"), p.Int("parallelism")), nil
+		},
+	})
+}
+
 // RGNOSConfig parameterizes the "random graphs with no known optimal
 // solutions" suite (paper section 5.4): 250 graphs spanning
 // 10 sizes × 5 CCRs × 5 parallelism degrees.

@@ -9,6 +9,32 @@ import (
 	"repro/internal/sched"
 )
 
+func init() {
+	// RGPOS is registered for generation but not as a Random family: its
+	// node count is only approximate (the construction partitions
+	// processor timelines) and its case-I edge weights are clamped to
+	// fit schedule gaps, so it cannot honor matched (size, CCR) points
+	// the way the genx sensitivity study requires.
+	Register(Generator{
+		Name:   "rgpos",
+		Doc:    "random graphs constructed around a hidden optimal schedule (graph only)",
+		Source: "Kwok & Ahmad (IPPS 1998), section 5.3",
+		Params: []ParamSpec{
+			{Name: "v", Kind: IntParam, Default: "50", Doc: "approximate node count"},
+			ccrParam(),
+			{Name: "procs", Kind: IntParam, Default: "8", Doc: "processors of the hidden construction schedule"},
+		},
+		Fn: func(seed int64, p Resolved) (*dag.Graph, error) {
+			v, procs := p.Int("v"), p.Int("procs")
+			if v < 1 || procs < 1 {
+				return nil, fmt.Errorf("gen: rgpos needs v, procs >= 1 (got %d, %d)", v, procs)
+			}
+			inst := RGPOSGraph(rand.New(rand.NewSource(seed)), v, procs, p.Float("ccr"))
+			return inst.G, nil
+		},
+	})
+}
+
 // RGPOSInstance is one "random graph with pre-determined optimal
 // schedule" (paper section 5.3): the graph, the schedule it was built
 // around, and that schedule's length, which is optimal for the given

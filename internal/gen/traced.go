@@ -7,6 +7,45 @@ import (
 	"repro/internal/dag"
 )
 
+func init() {
+	Register(Generator{
+		Name:   "cholesky",
+		Doc:    "traced graph of column-oriented Cholesky factorization of an n x n matrix",
+		Source: "Kwok & Ahmad (IPPS 1998), section 5.5",
+		Params: []ParamSpec{
+			{Name: "n", Kind: IntParam, Default: "8", Doc: "matrix dimension (tasks grow as O(n^2))"},
+			ccrParam(),
+		},
+		Fn: func(seed int64, p Resolved) (*dag.Graph, error) {
+			return Cholesky(p.Int("n"), p.Float("ccr"))
+		},
+	})
+	Register(Generator{
+		Name:   "gauss",
+		Doc:    "traced graph of Gaussian elimination without pivoting on an n x n matrix",
+		Source: "scheduling-literature standard (extension of the paper's TG suite)",
+		Params: []ParamSpec{
+			{Name: "n", Kind: IntParam, Default: "8", Doc: "matrix dimension (tasks grow as O(n^2))"},
+			ccrParam(),
+		},
+		Fn: func(seed int64, p Resolved) (*dag.Graph, error) {
+			return GaussianElimination(p.Int("n"), p.Float("ccr"))
+		},
+	})
+	Register(Generator{
+		Name:   "fft",
+		Doc:    "butterfly graph of a points-sized fast Fourier transform (points a power of two)",
+		Source: "scheduling-literature standard (extension of the paper's TG suite)",
+		Params: []ParamSpec{
+			{Name: "points", Kind: IntParam, Default: "16", Doc: "FFT size (power of two)"},
+			ccrParam(),
+		},
+		Fn: func(seed int64, p Resolved) (*dag.Graph, error) {
+			return FFT(p.Int("points"), p.Float("ccr"))
+		},
+	})
+}
+
 // Cholesky builds the task graph of column-oriented Cholesky
 // factorization of an N x N matrix — the traced-graph (TG) suite of the
 // paper (section 5.5), which obtained these DAGs from a parallelizing

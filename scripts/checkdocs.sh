@@ -1,0 +1,30 @@
+#!/bin/sh
+# checkdocs.sh — fail if an exported top-level declaration in the root
+# package (the public API in taskgraph.go and siblings) lacks a doc
+# comment. Deliberately a simple textual check: it looks at lines
+# starting with `func`, `type`, `var`, or `const` followed by an
+# exported identifier and requires the preceding line to be a comment.
+# Members of grouped `type (...)` / `const (...)` blocks are documented
+# inline and are out of scope here; go vet covers their syntax.
+set -eu
+cd "$(dirname "$0")/.."
+fail=0
+for f in ./*.go; do
+    case "$f" in
+    *_test.go) continue ;;
+    esac
+    out=$(awk '
+        prev !~ /^\/\// && /^(func|type|var|const) [A-Z]/ {
+            printf "%s:%d: undocumented exported declaration: %s\n", FILENAME, FNR, $0
+        }
+        { prev = $0 }
+    ' "$f")
+    if [ -n "$out" ]; then
+        echo "$out"
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "checkdocs: add doc comments to the declarations above" >&2
+fi
+exit "$fail"

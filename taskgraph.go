@@ -10,8 +10,10 @@
 //     the standard interconnects);
 //   - the exact branch-and-bound scheduler used to obtain optimal
 //     solutions for small graphs;
-//   - the five benchmark suites and the experiment harness that
-//     regenerates every table and figure of the paper's evaluation.
+//   - the benchmark-graph generator registry — the paper's five suites
+//     plus the Canon et al. (2019) random families and traced kernels —
+//     and the experiment harness that regenerates every table and
+//     figure of the paper's evaluation, plus extension studies.
 //
 // # Quick start
 //
@@ -236,6 +238,40 @@ func GaussianElimination(n int, ccr float64) (*Graph, error) {
 // FFT returns the butterfly graph of an N-point FFT (N a power of two).
 func FFT(points int, ccr float64) (*Graph, error) { return gen.FFT(points, ccr) }
 
+// LU returns the traced graph of tiled right-looking LU decomposition
+// on an n x n tile grid.
+func LU(n int, ccr float64) (*Graph, error) { return gen.LU(n, ccr) }
+
+// Generator registry. Every graph family — the paper's suites, the
+// traced kernels, and the random families of Canon et al. (2019) — is
+// registered under a name with a parameter schema, so tools can
+// enumerate and invoke workloads uniformly (see cmd/daggen and the
+// "genx" experiment).
+
+// Generator describes one registered graph family: its name, citation,
+// parameter schema with defaults, and deterministic construction
+// function.
+type Generator = gen.Generator
+
+// GeneratorParam declares one parameter of a registered generator: name,
+// kind, textual default, and a one-line description.
+type GeneratorParam = gen.ParamSpec
+
+// GeneratorParams maps generator parameter names to textual values, as
+// written on a command line; omitted parameters take their defaults.
+type GeneratorParams = gen.Params
+
+// Generators returns every registered graph family, sorted by name.
+func Generators() []Generator { return gen.Generators() }
+
+// Generate builds one graph from the named registered family. It is
+// deterministic in (name, seed, params): equal inputs yield
+// byte-identical graphs. Unknown names, unknown parameters, and
+// malformed parameter values are errors.
+func Generate(name string, seed int64, params GeneratorParams) (*Graph, error) {
+	return gen.Generate(name, seed, params)
+}
+
 // Experiment harness.
 
 // ExperimentConfig parameterizes a paper experiment run. Workers bounds
@@ -262,8 +298,9 @@ const (
 	Full = core.Full
 )
 
-// ExperimentIDs returns the identifiers of every reproducible table and
-// figure ("table1".."table6", "fig2".."fig4").
+// ExperimentIDs returns the identifiers of every reproducible artifact:
+// the paper's tables and figures ("table1".."table6", "fig2".."fig4")
+// and the extension studies ("unccs", "tdb", "genx").
 func ExperimentIDs() []string {
 	var ids []string
 	for _, e := range core.Experiments() {

@@ -133,12 +133,58 @@ func TestSuitesViaFacade(t *testing.T) {
 	if _, err := NewTopology(2, [][2]int{{0, 1}}); err != nil {
 		t.Error(err)
 	}
+	if _, err := LU(4, 1.0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratorRegistryFacade(t *testing.T) {
+	gens := Generators()
+	if len(gens) < 11 {
+		t.Fatalf("Generators() returned %d families, want >= 11", len(gens))
+	}
+	for _, g := range gens {
+		if g.Name == "" || g.Doc == "" || len(g.Params) == 0 {
+			t.Errorf("generator %+v missing name, doc, or params", g.Name)
+		}
+	}
+	g, err := Generate("faninout", 42, GeneratorParams{"v": "25", "ccr": "0.5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 25 {
+		t.Errorf("faninout v=25 produced %d nodes", g.NumNodes())
+	}
+	h, err := Generate("faninout", 42, GeneratorParams{"v": "25", "ccr": "0.5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := WriteGraph(&a, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteGraph(&b, h); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("Generate is not deterministic through the facade")
+	}
+	if _, err := Generate("nope", 1, nil); err == nil {
+		t.Error("unknown generator accepted")
+	}
 }
 
 func TestExperimentIDsFacade(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 11 {
-		t.Fatalf("ExperimentIDs = %v, want 11 entries", ids)
+	if len(ids) != 12 {
+		t.Fatalf("ExperimentIDs = %v, want 12 entries", ids)
+	}
+	haveGenx := false
+	for _, id := range ids {
+		haveGenx = haveGenx || id == "genx"
+	}
+	if !haveGenx {
+		t.Errorf("ExperimentIDs missing genx: %v", ids)
 	}
 	var sink bytes.Buffer
 	if err := RunExperiment("table1", ExperimentConfig{Seed: 1, Scale: Quick, Out: &sink}); err != nil {
