@@ -21,6 +21,12 @@
 // to run (use -workers=1 there for timings comparable to the paper's).
 // The benchmark suites — including the RGBOS branch-and-bound optima
 // shared by table2 and table3 — are generated once per dagbench run.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the
+// experiment runs, for diagnosing scheduling-kernel regressions:
+//
+//	dagbench -exp table6 -cpuprofile cpu.out
+//	go tool pprof cpu.out
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -35,11 +42,52 @@ import (
 )
 
 func main() {
+	// All work happens in run so its defers — in particular the pprof
+	// teardown, which must flush even when an experiment fails — run
+	// before the process exits.
+	os.Exit(run())
+}
+
+// run returns the process exit code; it is named so the -memprofile
+// defer can fail the run after the experiments succeed.
+func run() (code int) {
 	exp := flag.String("exp", "all", "experiment id or comma-separated list (table1..table6, fig2..fig4, unccs, tdb, genx, or all)")
 	scale := flag.String("scale", "quick", "workload scale: quick or full")
 	seed := flag.Int64("seed", 1998, "random seed for the benchmark suites")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent scheduling cells (<= 0: GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the experiment runs to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dagbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dagbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dagbench: -memprofile: %v\n", err)
+				code = 1
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live steady-state heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dagbench: -memprofile: %v\n", err)
+				code = 1
+			}
+		}()
+	}
 
 	cfg := taskgraph.ExperimentConfig{
 		Seed:    *seed,
@@ -56,7 +104,7 @@ func main() {
 		cfg.Scale = taskgraph.Full
 	default:
 		fmt.Fprintf(os.Stderr, "dagbench: unknown scale %q (want quick or full)\n", *scale)
-		os.Exit(2)
+		return 2
 	}
 
 	ids := taskgraph.ExperimentIDs()
@@ -67,8 +115,9 @@ func main() {
 		start := time.Now()
 		if err := taskgraph.RunExperiment(id, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "dagbench: %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stdout, "(%s finished in %.1fs)\n\n", id, time.Since(start).Seconds())
 	}
+	return code
 }

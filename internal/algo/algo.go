@@ -9,7 +9,11 @@
 // algorithms schedule both tasks and messages onto an arbitrary network.
 package algo
 
-import "repro/internal/dag"
+import (
+	"sync"
+
+	"repro/internal/dag"
+)
 
 // ReadySet tracks which unscheduled nodes have all parents scheduled.
 // List schedulers pop nodes from it in priority order and feed newly
@@ -22,20 +26,46 @@ type ReadySet struct {
 
 // NewReadySet returns a ready set holding the entry nodes of g.
 func NewReadySet(g *dag.Graph) *ReadySet {
-	n := g.NumNodes()
-	r := &ReadySet{
-		remaining: make([]int, n),
-		inReady:   make([]bool, n),
-	}
-	for v := 0; v < n; v++ {
-		r.remaining[v] = g.InDegree(dag.NodeID(v))
-		if r.remaining[v] == 0 {
-			r.ready = append(r.ready, dag.NodeID(v))
-			r.inReady[v] = true
-		}
-	}
+	r := &ReadySet{}
+	r.Reset(g)
 	return r
 }
+
+// Reset reinitializes the set to the entry nodes of g, reusing the
+// backing arrays when they are large enough.
+func (r *ReadySet) Reset(g *dag.Graph) {
+	n := g.NumNodes()
+	if cap(r.remaining) >= n {
+		r.remaining = r.remaining[:n]
+		r.inReady = r.inReady[:n]
+	} else {
+		r.remaining = make([]int, n)
+		r.inReady = make([]bool, n)
+	}
+	r.ready = r.ready[:0]
+	for v := 0; v < n; v++ {
+		r.remaining[v] = g.InDegree(dag.NodeID(v))
+		r.inReady[v] = r.remaining[v] == 0
+		if r.inReady[v] {
+			r.ready = append(r.ready, dag.NodeID(v))
+		}
+	}
+}
+
+// readyPool recycles ReadySets between AcquireReadySet and Release so
+// steady-state scheduling runs do not reallocate the bookkeeping arrays.
+var readyPool = sync.Pool{New: func() any { return new(ReadySet) }}
+
+// AcquireReadySet returns a ready set for g from the pool.
+func AcquireReadySet(g *dag.Graph) *ReadySet {
+	r := readyPool.Get().(*ReadySet)
+	r.Reset(g)
+	return r
+}
+
+// Release returns the set to the pool. The caller must not use r
+// afterwards.
+func (r *ReadySet) Release() { readyPool.Put(r) }
 
 // Ready returns the current ready nodes. The slice is shared with the
 // set; callers must not modify it and must not hold it across Pop or
@@ -61,8 +91,12 @@ func (r *ReadySet) Pop(n dag.NodeID) {
 }
 
 // MarkScheduled records that n (previously popped) has been scheduled
-// and inserts any children that became ready.
-func (r *ReadySet) MarkScheduled(g *dag.Graph, n dag.NodeID) {
+// and inserts any children that became ready. The newly ready nodes are
+// returned as a sub-slice of the internal ready list, valid until the
+// next Pop or MarkScheduled; incremental schedulers evaluate exactly
+// these instead of rescanning the whole ready set.
+func (r *ReadySet) MarkScheduled(g *dag.Graph, n dag.NodeID) []dag.NodeID {
+	first := len(r.ready)
 	for _, a := range g.Succs(n) {
 		r.remaining[a.To]--
 		if r.remaining[a.To] == 0 {
@@ -70,6 +104,7 @@ func (r *ReadySet) MarkScheduled(g *dag.Graph, n dag.NodeID) {
 			r.inReady[a.To] = true
 		}
 	}
+	return r.ready[first:]
 }
 
 // MaxBy returns the element of ready that maximizes priority, breaking

@@ -1,0 +1,128 @@
+package bnp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/dag"
+	"repro/internal/gen"
+	"repro/internal/sched"
+)
+
+// Allocation-count assertions for the steady-state scheduling inner
+// loops. The loops are measured on preallocated scratch — exactly the
+// state a warm pool hands out — so the assertion is deterministic:
+// zero allocations, not "few".
+
+func allocTestGraph(tb testing.TB) *dag.Graph {
+	tb.Helper()
+	g, err := gen.Generate("rgnos", 9, gen.Params{"v": "80", "ccr": "1.0"})
+	if err != nil {
+		tb.Fatalf("generate: %v", err)
+	}
+	return g
+}
+
+func TestETFInnerLoopAllocs(t *testing.T) {
+	g := allocTestGraph(t)
+	const procs = 8
+	s := sched.New(g, procs)
+	ready := algo.NewReadySet(g)
+	sc := &scratch{}
+	run := func() {
+		s.Reset(g, procs)
+		ready.Reset(g)
+		sc.grow(g)
+		etf(g, s, ready, sc)
+	}
+	run() // warm capacities
+	if allocs := testing.AllocsPerRun(20, run); allocs != 0 {
+		t.Errorf("steady-state ETF allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+func TestDLSInnerLoopAllocs(t *testing.T) {
+	g := allocTestGraph(t)
+	const procs = 8
+	s := sched.New(g, procs)
+	ready := algo.NewReadySet(g)
+	sc := &scratch{}
+	run := func() {
+		s.Reset(g, procs)
+		ready.Reset(g)
+		sc.grow(g)
+		dls(g, s, ready, sc)
+	}
+	run()
+	if allocs := testing.AllocsPerRun(20, run); allocs != 0 {
+		t.Errorf("steady-state DLS allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+func TestMCPInnerLoopAllocs(t *testing.T) {
+	g := allocTestGraph(t)
+	const procs = 8
+	order := mcpOrder(g) // priority computation is per-graph, not per-run
+	s := sched.New(g, procs)
+	run := func() {
+		s.Reset(g, procs)
+		mcpPlace(order, s)
+	}
+	run()
+	if allocs := testing.AllocsPerRun(20, run); allocs != 0 {
+		t.Errorf("steady-state MCP placement allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestPooledSchedulersStayCorrect runs the pooled public entry points
+// repeatedly with interleaved releases and checks the output never
+// drifts — the pool must hand back fully reset state.
+func TestPooledSchedulersStayCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	graphs := []*dag.Graph{allocTestGraph(t)}
+	g2, err := gen.Generate("rgnos", 11, gen.Params{"v": "40", "ccr": "2.0"})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	graphs = append(graphs, g2)
+	algs := Algorithms()
+	want := map[string]string{}
+	for name, alg := range algs {
+		for gi, g := range graphs {
+			s, err := alg(g, 8)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			want[name+string(rune('0'+gi))] = s.String()
+			s.Release()
+		}
+	}
+	for round := 0; round < 10; round++ {
+		name := []string{"HLFET", "ISH", "ETF", "LAST", "MCP", "DLS"}[rng.Intn(6)]
+		gi := rng.Intn(len(graphs))
+		s, err := algs[name](graphs[gi], 8)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := s.String(); got != want[name+string(rune('0'+gi))] {
+			t.Fatalf("round %d: %s on graph %d drifted:\n%s\nwant:\n%s",
+				round, name, gi, got, want[name+string(rune('0'+gi))])
+		}
+		s.Release()
+	}
+}
+
+// BenchmarkETFSteadyState measures the pooled end-to-end ETF call — the
+// per-cell cost a warm experiment worker pays.
+func BenchmarkETFSteadyState(b *testing.B) {
+	g := allocTestGraph(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := ETF(g, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Release()
+	}
+}

@@ -15,6 +15,7 @@ package bnp
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/dag"
 	"repro/internal/sched"
@@ -44,4 +45,51 @@ func checkArgs(g *dag.Graph, numProcs int) error {
 		return fmt.Errorf("bnp: need at least one processor, got %d", numProcs)
 	}
 	return nil
+}
+
+// scratch bundles the per-run working state shared by the BNP
+// schedulers: the level attributes and, for the incremental ETF/DLS
+// kernels, the cached best (processor, EST) per ready node. Instances
+// are pooled so steady-state scheduling runs reuse the arrays.
+type scratch struct {
+	lv       dag.Levels
+	bestProc []int32
+	bestEST  []int64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// acquireScratch returns pooled scratch with levels computed for g and
+// the per-node arrays sized to g.
+func acquireScratch(g *dag.Graph) *scratch {
+	sc := scratchPool.Get().(*scratch)
+	sc.grow(g)
+	return sc
+}
+
+// grow sizes the scratch for g and computes its levels.
+func (sc *scratch) grow(g *dag.Graph) {
+	sc.lv.Compute(g)
+	n := g.NumNodes()
+	if cap(sc.bestProc) >= n {
+		sc.bestProc = sc.bestProc[:n]
+		sc.bestEST = sc.bestEST[:n]
+	} else {
+		sc.bestProc = make([]int32, n)
+		sc.bestEST = make([]int64, n)
+	}
+}
+
+func (sc *scratch) release() { scratchPool.Put(sc) }
+
+// evalBest computes and caches the earliest-start placement of ready
+// node n: the processor with the smallest non-insertion EST, ties
+// toward lower indices. O(procs) with the O(1) EST query.
+func evalBest(s *sched.Schedule, sc *scratch, n dag.NodeID) {
+	p, e, ok := s.BestESTNonInsertion(n)
+	if !ok {
+		panic("bnp: ready node has unscheduled parent")
+	}
+	sc.bestProc[n] = int32(p)
+	sc.bestEST[n] = e
 }

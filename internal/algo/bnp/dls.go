@@ -16,35 +16,54 @@ import (
 //
 // where SL is the static level. At each step the (node, processor) pair
 // with the largest dynamic level is selected; placement is
-// non-insertion. Like ETF this scans all ready-node/processor pairs, and
-// the paper ranks the two slowest among the BNP class (Table 6).
+// non-insertion.
+//
+// The paper implements DLS, like ETF, as an exhaustive pair scan — the
+// two slowest BNP algorithms of Table 6 at O(p·v^2). This
+// implementation produces the identical schedule incrementally: for a
+// fixed ready node the dynamic level is maximized exactly where the EST
+// is minimized, so each ready node caches its best (processor, EST)
+// pair and only the nodes whose cached processor just received a task,
+// plus the newly released nodes, are re-evaluated per step (see etf for
+// the argument).
 func DLS(g *dag.Graph, numProcs int) (*sched.Schedule, error) {
 	if err := checkArgs(g, numProcs); err != nil {
 		return nil, err
 	}
-	sl := dag.StaticLevels(g)
-	s := sched.New(g, numProcs)
-	ready := algo.NewReadySet(g)
+	sc := acquireScratch(g)
+	defer sc.release()
+	ready := algo.AcquireReadySet(g)
+	defer ready.Release()
+	s := sched.Acquire(g, numProcs)
+	dls(g, s, ready, sc)
+	return s, nil
+}
+
+// dls runs the DLS loop on preallocated state.
+func dls(g *dag.Graph, s *sched.Schedule, ready *algo.ReadySet, sc *scratch) {
+	sl := sc.lv.Static
+	for _, n := range ready.Ready() {
+		evalBest(s, sc, n)
+	}
 	for !ready.Empty() {
 		bestNode := dag.None
-		bestProc := -1
+		var bestProc int32
 		var bestDL, bestEST int64
 		for _, n := range ready.Ready() {
-			for p := 0; p < numProcs; p++ {
-				est, ok := s.ESTOn(n, p, false)
-				if !ok {
-					panic("bnp: DLS ready node has unscheduled parent")
-				}
-				dl := sl[n] - est
-				if bestNode == dag.None || dl > bestDL ||
-					(dl == bestDL && (n < bestNode || (n == bestNode && p < bestProc))) {
-					bestNode, bestProc, bestDL, bestEST = n, p, dl, est
-				}
+			dl := sl[n] - sc.bestEST[n]
+			if bestNode == dag.None || dl > bestDL || (dl == bestDL && n < bestNode) {
+				bestNode, bestProc, bestDL, bestEST = n, sc.bestProc[n], dl, sc.bestEST[n]
 			}
 		}
 		ready.Pop(bestNode)
-		s.MustPlace(bestNode, bestProc, bestEST)
-		ready.MarkScheduled(g, bestNode)
+		s.MustPlace(bestNode, int(bestProc), bestEST)
+		for _, m := range ready.Ready() {
+			if sc.bestProc[m] == bestProc {
+				evalBest(s, sc, m)
+			}
+		}
+		for _, m := range ready.MarkScheduled(g, bestNode) {
+			evalBest(s, sc, m)
+		}
 	}
-	return s, nil
 }

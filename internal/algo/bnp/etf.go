@@ -13,37 +13,65 @@ import (
 // on every processor and selects the (node, processor) pair with the
 // smallest value; ties are broken toward the node with the higher static
 // level, then the smaller node ID and lower processor index. Placement
-// is non-insertion. The exhaustive pair scan makes ETF one of the two
-// slowest BNP algorithms in the paper's Table 6, with complexity
-// O(p·v^2).
+// is non-insertion.
+//
+// The paper implements ETF as an exhaustive ready×processor pair scan
+// with an O(indegree) EST recomputation per pair — O(p·v^2) overall and
+// one of the two slowest BNP algorithms in Table 6. This implementation
+// produces the identical schedule incrementally: each ready node caches
+// its best (processor, EST) pair, and after a placement only the nodes
+// whose cached processor just received the task — the only processor
+// whose availability changed — plus the newly released nodes are
+// re-evaluated, each in O(p) with the O(1) EST query.
 func ETF(g *dag.Graph, numProcs int) (*sched.Schedule, error) {
 	if err := checkArgs(g, numProcs); err != nil {
 		return nil, err
 	}
-	sl := dag.StaticLevels(g)
-	s := sched.New(g, numProcs)
-	ready := algo.NewReadySet(g)
+	sc := acquireScratch(g)
+	defer sc.release()
+	ready := algo.AcquireReadySet(g)
+	defer ready.Release()
+	s := sched.Acquire(g, numProcs)
+	etf(g, s, ready, sc)
+	return s, nil
+}
+
+// etf runs the ETF loop on preallocated state.
+//
+// Correctness of the incremental re-evaluation: a ready node's data
+// arrivals are fixed (all parents scheduled before it became ready), so
+// its non-insertion EST on processor p changes only when p's last
+// finish time grows — that is, only for the processor that received the
+// last placement, and only upward. A cached best on another processor
+// therefore stays optimal: its own value is unchanged and the touched
+// processor only got worse.
+func etf(g *dag.Graph, s *sched.Schedule, ready *algo.ReadySet, sc *scratch) {
+	sl := sc.lv.Static
+	for _, n := range ready.Ready() {
+		evalBest(s, sc, n)
+	}
 	for !ready.Empty() {
 		bestNode := dag.None
-		bestProc := -1
+		var bestProc int32
 		var bestEST int64
 		for _, n := range ready.Ready() {
-			for p := 0; p < numProcs; p++ {
-				est, ok := s.ESTOn(n, p, false)
-				if !ok {
-					panic("bnp: ETF ready node has unscheduled parent")
-				}
-				if bestNode == dag.None || est < bestEST ||
-					(est == bestEST && betterETFTie(sl, n, p, bestNode, bestProc)) {
-					bestNode, bestProc, bestEST = n, p, est
-				}
+			est := sc.bestEST[n]
+			if bestNode == dag.None || est < bestEST ||
+				(est == bestEST && betterETFTie(sl, n, int(sc.bestProc[n]), bestNode, int(bestProc))) {
+				bestNode, bestProc, bestEST = n, sc.bestProc[n], est
 			}
 		}
 		ready.Pop(bestNode)
-		s.MustPlace(bestNode, bestProc, bestEST)
-		ready.MarkScheduled(g, bestNode)
+		s.MustPlace(bestNode, int(bestProc), bestEST)
+		for _, m := range ready.Ready() {
+			if sc.bestProc[m] == bestProc {
+				evalBest(s, sc, m)
+			}
+		}
+		for _, m := range ready.MarkScheduled(g, bestNode) {
+			evalBest(s, sc, m)
+		}
 	}
-	return s, nil
 }
 
 // betterETFTie reports whether candidate (n,p) wins the tie against the

@@ -22,9 +22,12 @@ func ISH(g *dag.Graph, numProcs int) (*sched.Schedule, error) {
 	if err := checkArgs(g, numProcs); err != nil {
 		return nil, err
 	}
-	sl := dag.StaticLevels(g)
-	s := sched.New(g, numProcs)
-	ready := algo.NewReadySet(g)
+	sc := acquireScratch(g)
+	defer sc.release()
+	sl := sc.lv.Static
+	s := sched.Acquire(g, numProcs)
+	ready := algo.AcquireReadySet(g)
+	defer ready.Release()
 	for !ready.Empty() {
 		n := algo.MaxBy(ready.Ready(), func(n dag.NodeID) int64 { return sl[n] })
 		ready.Pop(n)

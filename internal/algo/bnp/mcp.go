@@ -25,7 +25,16 @@ func MCP(g *dag.Graph, numProcs int) (*sched.Schedule, error) {
 		return nil, err
 	}
 	order := mcpOrder(g)
-	s := sched.New(g, numProcs)
+	s := sched.Acquire(g, numProcs)
+	mcpPlace(order, s)
+	return s, nil
+}
+
+// mcpPlace runs MCP's placement loop — insertion-based earliest start
+// on the best processor, in the precomputed order — on a preallocated
+// schedule. Split out so the steady-state inner loop can be measured
+// (and asserted) allocation-free on its own.
+func mcpPlace(order []dag.NodeID, s *sched.Schedule) {
 	for _, n := range order {
 		p, est, ok := s.BestEST(n, true)
 		if !ok {
@@ -33,7 +42,6 @@ func MCP(g *dag.Graph, numProcs int) (*sched.Schedule, error) {
 		}
 		s.MustPlace(n, p, est)
 	}
-	return s, nil
 }
 
 // mcpOrder returns the nodes sorted by ascending lexicographic order of

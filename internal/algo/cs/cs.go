@@ -62,7 +62,7 @@ func clustersOf(s *sched.Schedule) [][]dag.NodeID {
 // with every node pinned to the processor its cluster was mapped to.
 func scheduleMapped(g *dag.Graph, proc []int, numProcs int) *sched.Schedule {
 	bl := dag.BLevels(g)
-	out := sched.New(g, numProcs)
+	out := sched.Acquire(g, numProcs)
 	ready := algo.NewReadySet(g)
 	for !ready.Empty() {
 		n := algo.MaxBy(ready.Ready(), func(m dag.NodeID) int64 { return bl[m] })
@@ -133,7 +133,7 @@ func partialLength(g *dag.Graph, proc []int, mapped []dag.NodeID, numProcs int) 
 		}
 		return order[i] < order[j]
 	})
-	out := sched.New(g, numProcs)
+	out := sched.Acquire(g, numProcs)
 	// Place in b-level order, skipping dependencies outside the mapped
 	// set (their data is treated as available at time 0).
 	for _, n := range order {
@@ -159,7 +159,9 @@ func partialLength(g *dag.Graph, proc []int, mapped []dag.NodeID, numProcs int) 
 		}
 		out.MustPlace(n, proc[n], est)
 	}
-	return out.Length()
+	l := out.Length()
+	out.Release() // trial schedule: only its length is used
+	return l
 }
 
 func maxBL(bl []int64, cluster []dag.NodeID) int64 {

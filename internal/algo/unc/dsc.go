@@ -28,7 +28,7 @@ func DSC(g *dag.Graph) (*sched.Schedule, error) {
 		return nil, err
 	}
 	n := g.NumNodes()
-	s := sched.New(g, max(n, 1))
+	s := sched.Acquire(g, max(n, 1))
 	if n == 0 {
 		return s, nil
 	}

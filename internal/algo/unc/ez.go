@@ -55,7 +55,10 @@ func EZ(g *dag.Graph) (*sched.Schedule, error) {
 		members[v] = []dag.NodeID{dag.NodeID(v)}
 	}
 	estimate := func() int64 {
-		return scheduleAssignment(g, order, assign, n).Length()
+		s := scheduleAssignment(g, order, assign, n)
+		l := s.Length()
+		s.Release() // estimates are per-edge; recycle the trial schedule
+		return l
 	}
 	merge := func(dst, src int) {
 		for _, m := range members[src] {

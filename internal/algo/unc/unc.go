@@ -67,7 +67,7 @@ func blevelOrder(g *dag.Graph) []dag.NodeID {
 // processor without insertion. This is the cluster-ordering step shared
 // by EZ and LC.
 func scheduleAssignment(g *dag.Graph, order []dag.NodeID, assign []int, numProcs int) *sched.Schedule {
-	s := sched.New(g, numProcs)
+	s := sched.Acquire(g, numProcs)
 	for _, n := range order {
 		est, ok := s.ESTOn(n, assign[n], false)
 		if !ok {

@@ -64,12 +64,16 @@ func (a Algorithm) Run(g *dag.Graph, bnpProcs int, topo *machine.Topology) (Resu
 			return Result{}, err
 		}
 		length, nsl, procs = s.Length(), s.NSL(), s.ProcessorsUsed()
+		// The schedule is measured and discarded; recycling it lets the
+		// next cell on this worker run without allocating one.
+		s.Release()
 	case UNC:
 		s, err := a.runUNC(g)
 		if err != nil {
 			return Result{}, err
 		}
 		length, nsl, procs = s.Length(), s.NSL(), s.ProcessorsUsed()
+		s.Release()
 	case APN:
 		if topo == nil {
 			return Result{}, fmt.Errorf("core: APN algorithm %s needs a topology", a.Name)

@@ -57,10 +57,12 @@ func TDB(cfg Config) error {
 					if err != nil {
 						return tdbRun{}, fmt.Errorf("tdb: %w", err)
 					}
+					defer h.Release()
 					m, err := bnp.MCP(g, 8)
 					if err != nil {
 						return tdbRun{}, fmt.Errorf("tdb: %w", err)
 					}
+					defer m.Release()
 					d, err := tdb.DSH(g, 8)
 					if err != nil {
 						return tdbRun{}, fmt.Errorf("tdb: %w", err)

@@ -47,11 +47,14 @@ func UNCCS(cfg Config) error {
 						if err != nil {
 							return 0, fmt.Errorf("unccs: %s on %s: %w", u, ng.Name, err)
 						}
+						defer clustering.Release()
 						mapped, err := mappers[m](clustering, procs)
 						if err != nil {
 							return 0, fmt.Errorf("unccs: %s+%s on %s: %w", u, m, ng.Name, err)
 						}
-						return mapped.NSL(), nil
+						nsl := mapped.NSL()
+						mapped.Release()
+						return nsl, nil
 					})
 				}
 			}

@@ -37,11 +37,19 @@ type Arc struct {
 
 // Graph is an immutable weighted DAG. The zero value is an empty graph;
 // use a Builder to construct a non-empty one.
+//
+// Adjacency is stored in compressed sparse row (CSR) form: all successor
+// arcs live in one shared backing array indexed by per-node offsets, and
+// likewise for predecessor arcs. Schedulers iterate adjacency in their
+// innermost loops, so the flat layout keeps those scans cache-friendly
+// and costs two allocations per graph instead of two per node.
 type Graph struct {
 	weight   []int64
 	label    []string
-	succs    [][]Arc
-	preds    [][]Arc
+	succArcs []Arc
+	succOff  []int32
+	predArcs []Arc
+	predOff  []int32
 	topo     []NodeID
 	numEdges int
 }
@@ -60,22 +68,22 @@ func (g *Graph) Label(n NodeID) string { return g.label[n] }
 
 // Succs returns the successor arcs of n. The returned slice is shared
 // with the graph and must not be modified.
-func (g *Graph) Succs(n NodeID) []Arc { return g.succs[n] }
+func (g *Graph) Succs(n NodeID) []Arc { return g.succArcs[g.succOff[n]:g.succOff[n+1]] }
 
 // Preds returns the predecessor arcs of n. The returned slice is shared
 // with the graph and must not be modified.
-func (g *Graph) Preds(n NodeID) []Arc { return g.preds[n] }
+func (g *Graph) Preds(n NodeID) []Arc { return g.predArcs[g.predOff[n]:g.predOff[n+1]] }
 
 // OutDegree returns the number of children of n.
-func (g *Graph) OutDegree(n NodeID) int { return len(g.succs[n]) }
+func (g *Graph) OutDegree(n NodeID) int { return int(g.succOff[n+1] - g.succOff[n]) }
 
 // InDegree returns the number of parents of n.
-func (g *Graph) InDegree(n NodeID) int { return len(g.preds[n]) }
+func (g *Graph) InDegree(n NodeID) int { return int(g.predOff[n+1] - g.predOff[n]) }
 
 // EdgeWeight returns the communication cost of edge (u,v) and whether the
 // edge exists.
 func (g *Graph) EdgeWeight(u, v NodeID) (int64, bool) {
-	for _, a := range g.succs[u] {
+	for _, a := range g.Succs(u) {
 		if a.To == v {
 			return a.Weight, true
 		}
@@ -103,21 +111,28 @@ func (g *Graph) topoOrder() []NodeID { return g.topo }
 
 // Entries returns the nodes with no predecessors, in ID order.
 func (g *Graph) Entries() []NodeID {
-	var out []NodeID
-	for n := range g.preds {
-		if len(g.preds[n]) == 0 {
-			out = append(out, NodeID(n))
-		}
-	}
-	return out
+	return zeroDegreeNodes(g.NumNodes(), g.predOff)
 }
 
 // Exits returns the nodes with no successors, in ID order.
 func (g *Graph) Exits() []NodeID {
-	var out []NodeID
-	for n := range g.succs {
-		if len(g.succs[n]) == 0 {
-			out = append(out, NodeID(n))
+	return zeroDegreeNodes(g.NumNodes(), g.succOff)
+}
+
+// zeroDegreeNodes returns the nodes whose CSR offset row is empty. A
+// counting pass sizes the result exactly, so the caller gets one
+// allocation instead of a grow-by-append sequence.
+func zeroDegreeNodes(n int, off []int32) []NodeID {
+	count := 0
+	for v := 0; v < n; v++ {
+		if off[v] == off[v+1] {
+			count++
+		}
+	}
+	out := make([]NodeID, 0, count)
+	for v := 0; v < n; v++ {
+		if off[v] == off[v+1] {
+			out = append(out, NodeID(v))
 		}
 	}
 	return out
@@ -135,10 +150,8 @@ func (g *Graph) TotalComputation() int64 {
 // TotalCommunication returns the sum of all edge communication costs.
 func (g *Graph) TotalCommunication() int64 {
 	var sum int64
-	for n := range g.succs {
-		for _, a := range g.succs[n] {
-			sum += a.Weight
-		}
+	for _, a := range g.succArcs {
+		sum += a.Weight
 	}
 	return sum
 }
@@ -164,12 +177,15 @@ func (g *Graph) CCR() float64 {
 // deserialized graphs and for use in tests.
 func (g *Graph) Validate() error {
 	n := g.NumNodes()
-	if len(g.label) != n || len(g.succs) != n || len(g.preds) != n {
+	if len(g.label) != n {
 		return errors.New("dag: inconsistent slice lengths")
 	}
+	if n > 0 && (len(g.succOff) != n+1 || len(g.predOff) != n+1) {
+		return errors.New("dag: inconsistent adjacency offsets")
+	}
 	edges := 0
-	for u := range g.succs {
-		for _, a := range g.succs[u] {
+	for u := 0; u < n; u++ {
+		for _, a := range g.Succs(NodeID(u)) {
 			if a.To < 0 || int(a.To) >= n {
 				return fmt.Errorf("dag: edge from %d to out-of-range node %d", u, a.To)
 			}
@@ -179,7 +195,7 @@ func (g *Graph) Validate() error {
 			if a.Weight < 0 {
 				return fmt.Errorf("dag: negative communication cost on edge (%d,%d)", u, a.To)
 			}
-			w, ok := reverseLookup(g.preds[a.To], NodeID(u))
+			w, ok := reverseLookup(g.Preds(a.To), NodeID(u))
 			if !ok || w != a.Weight {
 				return fmt.Errorf("dag: edge (%d,%d) not mirrored in predecessor list", u, a.To)
 			}
@@ -194,7 +210,7 @@ func (g *Graph) Validate() error {
 			return errors.New("dag: negative computation cost")
 		}
 	}
-	if _, err := topoSort(n, g.succs, g.preds); err != nil {
+	if _, err := topoSort(g); err != nil {
 		return err
 	}
 	return nil
@@ -270,24 +286,34 @@ func (b *Builder) AddEdge(from, to NodeID, weight int64) {
 // NumNodes returns the number of nodes added so far.
 func (b *Builder) NumNodes() int { return len(b.weight) }
 
-// Build finalizes the graph. It fails if any recorded construction error
-// exists or if the edges form a cycle.
+// Build finalizes the graph, flattening the per-node adjacency lists
+// into the CSR backing arrays. It fails if any recorded construction
+// error exists or if the edges form a cycle.
 func (b *Builder) Build() (*Graph, error) {
 	if b.err != nil {
 		return nil, b.err
 	}
-	topo, err := topoSort(len(b.weight), b.succs, b.preds)
-	if err != nil {
-		return nil, err
-	}
+	n := len(b.weight)
 	g := &Graph{
 		weight:   b.weight,
 		label:    b.label,
-		succs:    b.succs,
-		preds:    b.preds,
-		topo:     topo,
+		succOff:  make([]int32, n+1),
+		predOff:  make([]int32, n+1),
+		succArcs: make([]Arc, 0, b.edges),
+		predArcs: make([]Arc, 0, b.edges),
 		numEdges: b.edges,
 	}
+	for v := 0; v < n; v++ {
+		g.succArcs = append(g.succArcs, b.succs[v]...)
+		g.succOff[v+1] = int32(len(g.succArcs))
+		g.predArcs = append(g.predArcs, b.preds[v]...)
+		g.predOff[v+1] = int32(len(g.predArcs))
+	}
+	topo, err := topoSort(g)
+	if err != nil {
+		return nil, err
+	}
+	g.topo = topo
 	// Detach the builder so further mutation cannot alias the graph.
 	b.weight, b.label, b.succs, b.preds = nil, nil, nil, nil
 	b.edges = 0
@@ -308,10 +334,11 @@ var ErrCycle = errors.New("dag: graph contains a cycle")
 
 // topoSort returns a topological order using Kahn's algorithm, preferring
 // smaller IDs first so the order is deterministic.
-func topoSort(n int, succs, preds [][]Arc) ([]NodeID, error) {
+func topoSort(g *Graph) ([]NodeID, error) {
+	n := g.NumNodes()
 	indeg := make([]int, n)
-	for v := range preds {
-		indeg[v] = len(preds[v])
+	for v := 0; v < n; v++ {
+		indeg[v] = g.InDegree(NodeID(v))
 	}
 	// A simple FIFO queue seeded in ID order gives a stable order without
 	// the cost of a priority queue; determinism is what matters here.
@@ -326,7 +353,7 @@ func topoSort(n int, succs, preds [][]Arc) ([]NodeID, error) {
 		v := queue[0]
 		queue = queue[1:]
 		order = append(order, v)
-		for _, a := range succs[v] {
+		for _, a := range g.Succs(v) {
 			indeg[a.To]--
 			if indeg[a.To] == 0 {
 				queue = append(queue, a.To)

@@ -238,8 +238,12 @@ func TestDOTContainsStructure(t *testing.T) {
 
 func TestValidateCatchesCorruption(t *testing.T) {
 	g, _ := diamond(t)
-	// Break the mirror invariant directly.
-	g.preds[3] = g.preds[3][:1]
+	// Break the mirror invariant directly: rewrite node 3's only
+	// predecessor arcs to point at the wrong parent.
+	for i := g.predOff[3]; i < g.predOff[4]; i++ {
+		g.predArcs[i].To = 3 - g.predArcs[i].To
+		break
+	}
 	if err := g.Validate(); err == nil {
 		t.Error("Validate accepted corrupted graph")
 	}

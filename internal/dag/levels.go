@@ -24,13 +24,21 @@ type Levels struct {
 // ComputeLevels computes every level attribute in two passes over the
 // topological order.
 func ComputeLevels(g *Graph) *Levels {
+	lv := &Levels{}
+	lv.Compute(g)
+	return lv
+}
+
+// Compute fills lv with the level attributes of g, reusing the existing
+// backing arrays when they are large enough. This is the allocation-free
+// path for schedulers that recompute levels per run on pooled scratch.
+func (lv *Levels) Compute(g *Graph) {
 	n := g.NumNodes()
-	lv := &Levels{
-		T:      make([]int64, n),
-		B:      make([]int64, n),
-		Static: make([]int64, n),
-		ALAP:   make([]int64, n),
-	}
+	lv.T = resizeInt64(lv.T, n)
+	lv.B = resizeInt64(lv.B, n)
+	lv.Static = resizeInt64(lv.Static, n)
+	lv.ALAP = resizeInt64(lv.ALAP, n)
+	lv.CPLength = 0
 	topo := g.topoOrder()
 	for _, v := range topo {
 		var t int64
@@ -63,7 +71,15 @@ func ComputeLevels(g *Graph) *Levels {
 	for v := 0; v < n; v++ {
 		lv.ALAP[v] = lv.CPLength - lv.B[v]
 	}
-	return lv
+}
+
+// resizeInt64 returns a slice of length n, reusing s's backing array
+// when it has the capacity.
+func resizeInt64(s []int64, n int) []int64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int64, n)
 }
 
 // TLevels returns only the t-levels of the graph.

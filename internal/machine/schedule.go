@@ -40,6 +40,16 @@ type Schedule struct {
 	start  []int64
 	finish []int64
 	placed int
+
+	// Query scratch, reused across planInbound calls so the hot
+	// ready×processor EST scans of the APN schedulers allocate nothing.
+	// A plan's hop slices point into qHops and stay readable until the
+	// next query; Place copies the hops it commits.
+	qOrder   []dag.Arc
+	qOverlay []hopRes
+	qPlan    []edgePlan
+	qHops    []hopRes
+	qExtra   []sched.Slot
 }
 
 // NewSchedule returns an empty schedule for g on the given topology.
@@ -114,24 +124,27 @@ func (s *Schedule) linkTimeline(k linkKey) *sched.Timeline {
 
 // planEdge tentatively routes the message for edge (parent -> child of
 // weight c) to destination processor dst, on top of the overlay of hops
-// already planned in this query. It returns the data arrival time at dst
-// and the planned hops (nil when no link time is needed).
-func (s *Schedule) planEdge(parent dag.NodeID, c int64, dst int, overlay []hopRes) (int64, []hopRes) {
+// already planned in this query. The planned hops are appended to the
+// qHops arena; the returned pair is the data arrival time at dst and
+// the arena index the hops start at (len(qHops) when no link time is
+// needed). A shortest route never visits a channel twice, so hops of
+// the same message cannot conflict with each other and the overlay is
+// only read, never extended, inside one planEdge call.
+func (s *Schedule) planEdge(parent dag.NodeID, c int64, dst int, overlay []hopRes) (int64, int) {
 	src := int(s.proc[parent])
 	ready := s.finish[parent]
+	first := len(s.qHops)
 	if src == dst || c == 0 {
-		return ready, nil
+		return ready, first
 	}
-	route := s.topo.Route(src, dst)
-	hops := make([]hopRes, 0, len(route)-1)
+	route := s.topo.route(src, dst)
 	for i := 0; i+1 < len(route); i++ {
-		k := linkKey{int32(route[i]), int32(route[i+1])}
+		k := linkKey{route[i], route[i+1]}
 		start := s.earliestLinkFit(k, overlay, ready, c)
-		hops = append(hops, hopRes{link: k, start: start, finish: start + c})
-		overlay = append(overlay, hops[len(hops)-1])
+		s.qHops = append(s.qHops, hopRes{link: k, start: start, finish: start + c})
 		ready = start + c
 	}
-	return ready, hops
+	return ready, first
 }
 
 // earliestLinkFit finds the earliest start >= ready for a reservation of
@@ -142,17 +155,31 @@ func (s *Schedule) earliestLinkFit(k linkKey, overlay []hopRes, ready, duration 
 	if tl := s.links[k]; tl != nil {
 		base = tl.Slots()
 	}
-	var extra []sched.Slot
+	// Collect the overlay reservations on this channel into the reused
+	// scratch, keeping them sorted by start as they are inserted.
+	// Overlay entries on one channel never overlap and messages have
+	// positive duration here, so starts are distinct and the order is
+	// uniquely determined.
+	extra := s.qExtra[:0]
 	for _, h := range overlay {
 		if h.link == k {
+			i := len(extra)
 			extra = append(extra, sched.Slot{Start: h.start, Finish: h.finish})
+			for i > 0 && extra[i-1].Start > extra[i].Start {
+				extra[i-1], extra[i] = extra[i], extra[i-1]
+				i--
+			}
 		}
 	}
-	sort.Slice(extra, func(i, j int) bool { return extra[i].Start < extra[j].Start })
+	s.qExtra = extra[:0]
 	// Two-pointer gap scan over the merged slot streams: return the first
 	// point cur >= ready such that [cur, cur+duration) hits no slot.
+	// Slots finishing at or before ready can neither advance cur nor
+	// open a usable gap (a returned start needs next.Start > cur >=
+	// ready, hence next.Finish > ready), so binary-search past them.
 	cur := ready
-	i, j := 0, 0
+	i := sort.Search(len(base), func(i int) bool { return base[i].Finish > ready })
+	j := sort.Search(len(extra), func(j int) bool { return extra[j].Finish > ready })
 	for i < len(base) || j < len(extra) {
 		var next sched.Slot
 		if j >= len(extra) || (i < len(base) && base[i].Start <= extra[j].Start) {
@@ -181,7 +208,9 @@ type edgePlan struct {
 // planInbound plans the messages from all of n's parents to processor p
 // in a deterministic order (parents by ascending finish time, then ID)
 // and returns the overall data-ready time plus the per-edge hop plan.
-// ok is false when some parent is unscheduled.
+// ok is false when some parent is unscheduled. The plan aliases the
+// schedule's query scratch and is valid until the next planInbound
+// call; Place copies what it commits.
 func (s *Schedule) planInbound(n dag.NodeID, p int) (drt int64, plan []edgePlan, ok bool) {
 	preds := s.g.Preds(n)
 	for _, pr := range preds {
@@ -189,19 +218,29 @@ func (s *Schedule) planInbound(n dag.NodeID, p int) (drt int64, plan []edgePlan,
 			return 0, nil, false
 		}
 	}
-	order := make([]dag.Arc, len(preds))
-	copy(order, preds)
-	sort.Slice(order, func(i, j int) bool {
-		fi, fj := s.finish[order[i].To], s.finish[order[j].To]
-		if fi != fj {
-			return fi < fj
+	// Insertion sort into the reused order scratch. The (finish, ID) key
+	// is a total order — IDs are unique — so the result is the same
+	// permutation any sort would produce.
+	order := s.qOrder[:0]
+	for _, pr := range preds {
+		i := len(order)
+		order = append(order, pr)
+		for i > 0 {
+			fi, fj := s.finish[order[i-1].To], s.finish[order[i].To]
+			if fi < fj || (fi == fj && order[i-1].To < order[i].To) {
+				break
+			}
+			order[i-1], order[i] = order[i], order[i-1]
+			i--
 		}
-		return order[i].To < order[j].To
-	})
-	var overlay []hopRes
+	}
+	s.qOrder = order
+	overlay := s.qOverlay[:0]
+	plan = s.qPlan[:0]
+	s.qHops = s.qHops[:0]
 	for _, pr := range order {
-		arrival, hops := s.planEdge(pr.To, pr.Weight, p, overlay)
-		if len(hops) > 0 {
+		arrival, first := s.planEdge(pr.To, pr.Weight, p, overlay)
+		if hops := s.qHops[first:]; len(hops) > 0 {
 			overlay = append(overlay, hops...)
 			plan = append(plan, edgePlan{key: edgeKey{pr.To, n}, hops: hops})
 		}
@@ -209,6 +248,8 @@ func (s *Schedule) planInbound(n dag.NodeID, p int) (drt int64, plan []edgePlan,
 			drt = arrival
 		}
 	}
+	s.qOverlay = overlay
+	s.qPlan = plan
 	return drt, plan, true
 }
 
@@ -270,8 +311,11 @@ func (s *Schedule) Place(n dag.NodeID, p int, start int64) error {
 		return fmt.Errorf("machine: node %d on P%d: %w", n, p, err)
 	}
 	for _, ep := range plan {
-		s.msgs[ep.key] = ep.hops
-		for _, h := range ep.hops {
+		// The plan aliases the query scratch; commit an owned copy.
+		hops := make([]hopRes, len(ep.hops))
+		copy(hops, ep.hops)
+		s.msgs[ep.key] = hops
+		for _, h := range hops {
 			if err := s.linkTimeline(h.link).Insert(sched.Slot{Node: n, Start: h.start, Finish: h.finish}); err != nil {
 				panic(fmt.Sprintf("machine: internal link conflict: %v", err))
 			}

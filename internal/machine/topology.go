@@ -19,11 +19,12 @@ import (
 // Topology is an undirected, connected processor network with
 // deterministic shortest-path routing. Immutable after construction.
 type Topology struct {
-	n    int
-	adj  [][]int32 // sorted neighbor lists
-	next [][]int32 // next[s][d]: neighbor of s on a shortest s->d path
-	dist [][]int32
-	name string
+	n      int
+	adj    [][]int32 // sorted neighbor lists
+	next   [][]int32 // next[s][d]: neighbor of s on a shortest s->d path
+	dist   [][]int32
+	routes [][]int32 // routes[s*n+d]: full s->d path, precomputed
+	name   string
 }
 
 // NewTopology builds a topology for n processors from an undirected link
@@ -98,7 +99,30 @@ func (t *Topology) computeRoutes() {
 			}
 		}
 	}
+	// Materialize every route once so the message planners can walk
+	// shortest paths without allocating per query.
+	t.routes = make([][]int32, t.n*t.n)
+	for s := 0; s < t.n; s++ {
+		for d := 0; d < t.n; d++ {
+			if t.dist[s][d] < 0 {
+				continue // disconnected; NewTopology rejects these anyway
+			}
+			path := make([]int32, 0, t.dist[s][d]+1)
+			for v := int32(s); ; v = t.next[v][d] {
+				path = append(path, v)
+				if v == int32(d) {
+					break
+				}
+			}
+			t.routes[s*t.n+d] = path
+		}
+	}
 }
+
+// route returns the precomputed shortest path from src to dst including
+// both endpoints. The slice is shared with the topology and must not be
+// modified.
+func (t *Topology) route(src, dst int) []int32 { return t.routes[src*t.n+dst] }
 
 // NumProcs returns the number of processors.
 func (t *Topology) NumProcs() int { return t.n }
@@ -126,12 +150,13 @@ func (t *Topology) NumLinks() int {
 func (t *Topology) Dist(src, dst int) int { return int(t.dist[src][dst]) }
 
 // Route returns the shortest path from src to dst as a processor
-// sequence including both endpoints; Route(p, p) is [p].
+// sequence including both endpoints; Route(p, p) is [p]. The returned
+// slice is a fresh copy; internal callers use the precomputed route.
 func (t *Topology) Route(src, dst int) []int {
-	path := []int{src}
-	for src != dst {
-		src = int(t.next[src][dst])
-		path = append(path, src)
+	r := t.route(src, dst)
+	path := make([]int, len(r))
+	for i, v := range r {
+		path[i] = int(v)
 	}
 	return path
 }

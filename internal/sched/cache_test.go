@@ -1,0 +1,264 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dag"
+)
+
+// This file pins the incremental data-arrival cache to the definition
+// it replaces: a full predecessor scan per query. Random graphs are
+// scheduled with random interleavings of Place, Unplace, and queries,
+// and every cached answer must equal the scan's.
+
+// scanDataReadyTime is the pre-cache reference implementation of
+// DataReadyTime, written against the public placement accessors only.
+func scanDataReadyTime(s *Schedule, g *dag.Graph, n dag.NodeID, p int) (int64, bool) {
+	var drt int64
+	for _, pr := range g.Preds(n) {
+		if !s.IsScheduled(pr.To) {
+			return 0, false
+		}
+		arrival := s.FinishOf(pr.To)
+		if s.ProcOf(pr.To) != p {
+			arrival += pr.Weight
+		}
+		if arrival > drt {
+			drt = arrival
+		}
+	}
+	return drt, true
+}
+
+// scanBestESTNonInsertion is the pre-cache reference for
+// BestEST(n, false): minimum over processors of max(scan DRT, last
+// finish), ties toward lower indices.
+func scanBestESTNonInsertion(s *Schedule, g *dag.Graph, n dag.NodeID) (int, int64, bool) {
+	proc := -1
+	var best int64
+	for p := 0; p < s.NumProcs(); p++ {
+		drt, ok := scanDataReadyTime(s, g, n, p)
+		if !ok {
+			return -1, 0, false
+		}
+		var last int64
+		if slots := s.Slots(p); len(slots) > 0 {
+			last = slots[len(slots)-1].Finish
+		}
+		if last > drt {
+			drt = last
+		}
+		if proc == -1 || drt < best {
+			proc, best = p, drt
+		}
+	}
+	return proc, best, true
+}
+
+func randomTestGraph(rng *rand.Rand, n int) *dag.Graph {
+	b := dag.NewBuilder()
+	for i := 0; i < n; i++ {
+		// Positive weights: zero-duration slots cannot always be
+		// re-inserted at the same position (a pre-existing Timeline
+		// quirk), which would break the backtracking exercise below.
+		// Zero-weight arrival math is covered by
+		// TestArrivalCacheZeroWeights.
+		b.AddNode(1 + int64(rng.Intn(9)))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Intn(4) == 0 {
+				b.AddEdge(dag.NodeID(u), dag.NodeID(v), int64(rng.Intn(15)))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// TestArrivalCacheZeroWeights pins the cache's edge cases around
+// zero-cost nodes and edges, where every arrival can be 0 and the
+// dominant-processor slot of the cache never fills in.
+func TestArrivalCacheZeroWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		b := dag.NewBuilder()
+		n := 16
+		for i := 0; i < n; i++ {
+			b.AddNode(int64(rng.Intn(3))) // zero-weight nodes included
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(3) == 0 {
+					b.AddEdge(dag.NodeID(u), dag.NodeID(v), int64(rng.Intn(3)))
+				}
+			}
+		}
+		g := b.MustBuild()
+		s := New(g, 1+rng.Intn(4))
+		for _, node := range g.TopoOrder() {
+			checkAllQueries(t, s, g)
+			p := rng.Intn(s.NumProcs())
+			est, ok := s.ESTOn(node, p, false)
+			if !ok {
+				t.Fatalf("ESTOn failed for node %d in topo order", node)
+			}
+			// Zero-duration slots can block the exact EST position (a
+			// pre-existing Timeline degeneracy, same in the scan-based
+			// code); any start >= EST keeps precedence valid and is
+			// just as good for exercising the cache.
+			for s.Place(node, p, est) != nil {
+				est++
+			}
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// checkAllQueries compares every (node, processor) cache answer with
+// the scan reference on the current partial schedule.
+func checkAllQueries(t *testing.T, s *Schedule, g *dag.Graph) {
+	t.Helper()
+	for v := 0; v < g.NumNodes(); v++ {
+		n := dag.NodeID(v)
+		if s.IsScheduled(n) {
+			continue
+		}
+		for p := 0; p < s.NumProcs(); p++ {
+			want, wantOK := scanDataReadyTime(s, g, n, p)
+			got, gotOK := s.DataReadyTime(n, p)
+			if got != want || gotOK != wantOK {
+				t.Fatalf("DataReadyTime(n%d, P%d) = (%d,%v), scan says (%d,%v)",
+					n, p, got, gotOK, want, wantOK)
+			}
+		}
+		wp, we, wok := scanBestESTNonInsertion(s, g, n)
+		gp, ge, gok := s.BestESTNonInsertion(n)
+		if gp != wp || ge != we || gok != wok {
+			t.Fatalf("BestESTNonInsertion(n%d) = (P%d,%d,%v), scan says (P%d,%d,%v)",
+				n, gp, ge, gok, wp, we, wok)
+		}
+	}
+}
+
+func TestArrivalCacheMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		g := randomTestGraph(rng, 24)
+		s := New(g, 1+rng.Intn(5))
+		var placed []dag.NodeID
+		for _, n := range g.TopoOrder() {
+			// Occasionally backtrack: unplace a node with no scheduled
+			// children (reverse placement order guarantees that), then
+			// re-place it, exercising the dirty-rebuild path.
+			if len(placed) > 0 && rng.Intn(3) == 0 {
+				victim := placed[len(placed)-1]
+				vp, vs := s.ProcOf(victim), s.StartOf(victim)
+				s.Unplace(victim)
+				checkAllQueries(t, s, g)
+				s.MustPlace(victim, vp, vs)
+			}
+			p := rng.Intn(s.NumProcs())
+			est, ok := s.ESTOn(n, p, rng.Intn(2) == 0)
+			if !ok {
+				t.Fatalf("ESTOn failed for node %d in topo order", n)
+			}
+			s.MustPlace(n, p, est)
+			placed = append(placed, n)
+			if rng.Intn(2) == 0 {
+				checkAllQueries(t, s, g)
+			}
+		}
+		checkAllQueries(t, s, g)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestResetReusesCleanState runs a schedule, resets it onto a second
+// graph, and verifies the reset schedule behaves exactly like a fresh
+// one on every query.
+func TestResetReusesCleanState(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g1 := randomTestGraph(rng, 20)
+	g2 := randomTestGraph(rng, 28)
+	s := New(g1, 4)
+	for _, n := range g1.TopoOrder() {
+		p, est, ok := s.BestEST(n, false)
+		if !ok {
+			t.Fatal("BestEST failed in topo order")
+		}
+		s.MustPlace(n, p, est)
+	}
+	s.Reset(g2, 3)
+	fresh := New(g2, 3)
+	if s.Placed() != 0 || s.Length() != 0 {
+		t.Fatalf("reset schedule not empty: placed=%d length=%d", s.Placed(), s.Length())
+	}
+	for _, n := range g2.TopoOrder() {
+		checkAllQueries(t, s, g2)
+		p, est, ok := s.BestEST(n, true)
+		fp, fe, fok := fresh.BestEST(n, true)
+		if p != fp || est != fe || ok != fok {
+			t.Fatalf("reset schedule diverges from fresh at node %d: (P%d,%d,%v) vs (P%d,%d,%v)",
+				n, p, est, ok, fp, fe, fok)
+		}
+		s.MustPlace(n, p, est)
+		fresh.MustPlace(n, fp, fe)
+	}
+	if s.String() != fresh.String() {
+		t.Fatalf("reset schedule produced different bytes:\n%s\nvs fresh:\n%s", s, fresh)
+	}
+}
+
+// TestAcquireReleaseRoundTrip exercises the pool path.
+func TestAcquireReleaseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomTestGraph(rng, 16)
+	want := ""
+	for round := 0; round < 5; round++ {
+		s := Acquire(g, 4)
+		for _, n := range g.TopoOrder() {
+			p, est, ok := s.BestEST(n, false)
+			if !ok {
+				t.Fatal("BestEST failed")
+			}
+			s.MustPlace(n, p, est)
+		}
+		got := s.String()
+		if round == 0 {
+			want = got
+		} else if got != want {
+			t.Fatalf("round %d produced different schedule:\n%s\nwant:\n%s", round, got, want)
+		}
+		s.Release()
+	}
+}
+
+// TestScheduleSteadyStateAllocs pins the zero-allocation property of
+// the scheduling hot path: once a schedule has been through one run,
+// Reset + a full place loop with non-insertion EST queries must not
+// allocate at all.
+func TestScheduleSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomTestGraph(rng, 40)
+	topo := g.TopoOrder()
+	s := New(g, 8)
+	run := func() {
+		s.Reset(g, 8)
+		for _, n := range topo {
+			p, est, ok := s.BestESTNonInsertion(n)
+			if !ok {
+				t.Fatal("BestESTNonInsertion failed")
+			}
+			s.MustPlace(n, p, est)
+		}
+	}
+	run() // warm the slot capacities
+	if allocs := testing.AllocsPerRun(50, run); allocs != 0 {
+		t.Errorf("steady-state place loop allocates %.1f objects per run, want 0", allocs)
+	}
+}

@@ -17,6 +17,7 @@ package sched
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/dag"
 )
@@ -30,6 +31,15 @@ type Slot struct {
 
 // Schedule is a (possibly partial) mapping of tasks to processors and
 // start times under the clique communication model.
+//
+// Alongside the placement arrays, the schedule maintains an incremental
+// data-arrival cache: for every node it tracks, over the node's already
+// scheduled parents, the top-2 values of finish+communication on
+// distinct processors plus the maximum bare finish time. The cache is
+// updated in O(outdegree) on Place, which makes DataReadyTime — and
+// with it the non-insertion ESTOn — an O(1) query instead of a scan
+// over all predecessors. Unplace marks affected children dirty; their
+// cache rows are rebuilt lazily by one predecessor scan on next query.
 type Schedule struct {
 	g      *dag.Graph
 	procs  []Timeline
@@ -37,27 +47,118 @@ type Schedule struct {
 	start  []int64
 	finish []int64
 	placed int
+
+	// Data-arrival cache, one row per node, valid while dirty is unset:
+	//   arrM1:  max over scheduled parents q of finish[q]+comm(q,n)
+	//   arrP1:  processor of the first parent to reach arrM1 (-1 before
+	//           any positive arrival)
+	//   arrM2:  max over scheduled parents on processors != arrP1
+	//   arrFin: max over scheduled parents of bare finish[q]
+	schedPreds []int32 // number of scheduled parents
+	arrM1      []int64
+	arrP1      []int32
+	arrM2      []int64
+	arrFin     []int64
+	dirty      []bool // row must be rebuilt by a predecessor scan
+
+	// lastFin mirrors procs[p].LastFinish() in a flat array so the
+	// non-insertion best-processor scan touches one cache line per few
+	// processors instead of chasing a slot slice per processor.
+	lastFin []int64
 }
 
 // New returns an empty schedule for g on numProcs processors.
 // For UNC (unbounded-processor) algorithms pass numProcs equal to the
 // number of nodes: one task per cluster is the worst case.
 func New(g *dag.Graph, numProcs int) *Schedule {
+	s := &Schedule{}
+	s.Reset(g, numProcs)
+	return s
+}
+
+// Reset rebinds the schedule to g on numProcs processors and empties it,
+// reusing every backing array that is large enough. A Reset schedule is
+// indistinguishable from a New one; steady-state experiment loops reset
+// pooled schedules instead of allocating fresh ones.
+func (s *Schedule) Reset(g *dag.Graph, numProcs int) {
 	if numProcs < 1 {
 		numProcs = 1
 	}
+	s.g = g
+	if cap(s.procs) >= numProcs {
+		s.procs = s.procs[:numProcs]
+		for i := range s.procs {
+			s.procs[i].reset()
+		}
+	} else {
+		// Carry the old timelines over so their slot capacity survives.
+		old := s.procs[:cap(s.procs)]
+		for i := range old {
+			old[i].reset()
+		}
+		s.procs = make([]Timeline, numProcs)
+		copy(s.procs, old)
+	}
+	s.lastFin = resize(s.lastFin, numProcs)
+	for i := range s.lastFin {
+		s.lastFin[i] = 0
+	}
 	n := g.NumNodes()
-	s := &Schedule{
-		g:      g,
-		procs:  make([]Timeline, numProcs),
-		proc:   make([]int32, n),
-		start:  make([]int64, n),
-		finish: make([]int64, n),
-	}
-	for i := range s.proc {
+	s.proc = resize(s.proc, n)
+	s.start = resize(s.start, n)
+	s.finish = resize(s.finish, n)
+	s.schedPreds = resize(s.schedPreds, n)
+	s.arrM1 = resize(s.arrM1, n)
+	s.arrP1 = resize(s.arrP1, n)
+	s.arrM2 = resize(s.arrM2, n)
+	s.arrFin = resize(s.arrFin, n)
+	s.dirty = resize(s.dirty, n)
+	for i := 0; i < n; i++ {
 		s.proc[i] = -1
+		s.start[i] = 0
+		s.finish[i] = 0
+		s.schedPreds[i] = 0
+		s.arrM1[i] = 0
+		s.arrP1[i] = -1
+		s.arrM2[i] = 0
+		s.arrFin[i] = 0
+		s.dirty[i] = false
 	}
+	s.placed = 0
+}
+
+// resize returns a slice of length n, reusing s's backing array when it
+// has the capacity. Contents are unspecified; Reset overwrites every
+// element.
+func resize[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// pool recycles schedules between Acquire and Release so steady-state
+// experiment cells reuse backing arrays instead of reallocating them.
+var pool = sync.Pool{New: func() any { return new(Schedule) }}
+
+// Acquire returns an empty schedule for g on numProcs processors,
+// reusing a pooled one when available. Callers that are done with the
+// schedule may hand it back with Release; keeping it forever is also
+// fine — it just never returns to the pool.
+func Acquire(g *dag.Graph, numProcs int) *Schedule {
+	s := pool.Get().(*Schedule)
+	s.Reset(g, numProcs)
 	return s
+}
+
+// Release returns the schedule to the pool. The caller must not use s
+// afterwards.
+func (s *Schedule) Release() {
+	if s == nil {
+		return
+	}
+	s.g = nil // do not pin the graph while pooled
+	pool.Put(s)
 }
 
 // Graph returns the task graph this schedule is for.
@@ -111,6 +212,34 @@ func (s *Schedule) Place(n dag.NodeID, p int, start int64) error {
 	s.start[n] = start
 	s.finish[n] = finish
 	s.placed++
+	if finish > s.lastFin[p] {
+		s.lastFin[p] = finish
+	}
+	// Fold the new arrival into each child's data-arrival cache.
+	pp := int32(p)
+	for _, a := range s.g.Succs(n) {
+		c := a.To
+		s.schedPreds[c]++
+		if s.dirty[c] {
+			continue // row will be rebuilt from scratch anyway
+		}
+		if finish > s.arrFin[c] {
+			s.arrFin[c] = finish
+		}
+		arr := finish + a.Weight
+		switch {
+		case pp == s.arrP1[c]:
+			if arr > s.arrM1[c] {
+				s.arrM1[c] = arr
+			}
+		case arr > s.arrM1[c]:
+			s.arrM2[c] = s.arrM1[c]
+			s.arrM1[c] = arr
+			s.arrP1[c] = pp
+		case arr > s.arrM2[c]:
+			s.arrM2[c] = arr
+		}
+	}
 	return nil
 }
 
@@ -131,18 +260,25 @@ func (s *Schedule) Unplace(n dag.NodeID) {
 		return
 	}
 	s.procs[p].Remove(n, s.start[n])
+	s.lastFin[p] = s.procs[p].LastFinish()
 	s.proc[n] = -1
 	s.start[n] = 0
 	s.finish[n] = 0
 	s.placed--
+	// Removing an arrival cannot be undone in O(1); mark each child's
+	// cache row for a lazy rebuild.
+	for _, a := range s.g.Succs(n) {
+		s.schedPreds[a.To]--
+		s.dirty[a.To] = true
+	}
 }
 
 // Length returns the schedule length (makespan): the latest finish time
 // over all processors, 0 for an empty schedule.
 func (s *Schedule) Length() int64 {
 	var max int64
-	for i := range s.procs {
-		if f := s.procs[i].LastFinish(); f > max {
+	for _, f := range s.lastFin {
+		if f > max {
 			max = f
 		}
 	}
@@ -165,21 +301,63 @@ func (s *Schedule) ProcessorsUsed() int {
 // available on processor p: the max over parents of the parent's finish
 // time plus the edge cost if the parent sits on a different processor.
 // ok is false if some parent is not yet scheduled.
+//
+// The query is answered in O(1) from the incremental arrival cache.
+// With M1 the maximum finish+comm over parents (on processor P1), M2
+// the maximum over parents on other processors, and F the maximum bare
+// finish: querying p != P1 yields M1 (every co-located parent's bare
+// finish is dominated by its own finish+comm <= M1); querying p == P1
+// removes P1's communication edge, leaving max(M2, F) — F is safe to
+// take over all parents because a parent off p has bare finish <= its
+// finish+comm <= M2.
 func (s *Schedule) DataReadyTime(n dag.NodeID, p int) (drt int64, ok bool) {
-	for _, pr := range s.g.Preds(n) {
-		pp := s.proc[pr.To]
-		if pp < 0 {
-			return 0, false
-		}
-		arrival := s.finish[pr.To]
-		if int(pp) != p {
-			arrival += pr.Weight
-		}
-		if arrival > drt {
-			drt = arrival
-		}
+	if int(s.schedPreds[n]) != s.g.InDegree(n) {
+		return 0, false
+	}
+	if s.dirty[n] {
+		s.rebuildArrival(n)
+	}
+	if s.arrP1[n] != int32(p) {
+		return s.arrM1[n], true
+	}
+	drt = s.arrM2[n]
+	if f := s.arrFin[n]; f > drt {
+		drt = f
 	}
 	return drt, true
+}
+
+// rebuildArrival recomputes node n's data-arrival cache row with one
+// scan over its (fully scheduled) predecessors, after Unplace
+// invalidated it.
+func (s *Schedule) rebuildArrival(n dag.NodeID) {
+	var m1, m2, fmax int64
+	p1 := int32(-1)
+	for _, pr := range s.g.Preds(n) {
+		f := s.finish[pr.To]
+		if f > fmax {
+			fmax = f
+		}
+		arr := f + pr.Weight
+		pp := s.proc[pr.To]
+		switch {
+		case pp == p1:
+			if arr > m1 {
+				m1 = arr
+			}
+		case arr > m1:
+			m2 = m1
+			m1 = arr
+			p1 = pp
+		case arr > m2:
+			m2 = arr
+		}
+	}
+	s.arrM1[n] = m1
+	s.arrP1[n] = p1
+	s.arrM2[n] = m2
+	s.arrFin[n] = fmax
+	s.dirty[n] = false
 }
 
 // EnablingProc returns the processor choice that maximizes locality for
@@ -213,6 +391,14 @@ func (s *Schedule) ESTOn(n dag.NodeID, p int, insertion bool) (est int64, ok boo
 	if !ok {
 		return 0, false
 	}
+	if !insertion {
+		// Non-insertion placement never looks at gaps; the open-ended
+		// slot after the last task is read off the flat mirror.
+		if lf := s.lastFin[p]; lf > drt {
+			return lf, true
+		}
+		return drt, true
+	}
 	return s.procs[p].EarliestFit(drt, s.g.Weight(n), insertion), true
 }
 
@@ -220,6 +406,9 @@ func (s *Schedule) ESTOn(n dag.NodeID, p int, insertion bool) (est int64, ok boo
 // processors, breaking ties toward lower processor indices. ok is false
 // if a parent is unscheduled.
 func (s *Schedule) BestEST(n dag.NodeID, insertion bool) (proc int, est int64, ok bool) {
+	if !insertion {
+		return s.BestESTNonInsertion(n)
+	}
 	proc = -1
 	for p := range s.procs {
 		e, k := s.ESTOn(n, p, insertion)
@@ -228,6 +417,39 @@ func (s *Schedule) BestEST(n dag.NodeID, insertion bool) (proc int, est int64, o
 		}
 		if proc == -1 || e < est {
 			proc, est = p, e
+		}
+	}
+	return proc, est, true
+}
+
+// BestESTNonInsertion is BestEST(n, false) on the fast path: the cached
+// arrival row gives the data-ready time as one of two precomputed
+// values (co-located with the dominant parent or not), so the scan over
+// processors reduces to a tight loop over the flat last-finish array.
+func (s *Schedule) BestESTNonInsertion(n dag.NodeID) (proc int, est int64, ok bool) {
+	if int(s.schedPreds[n]) != s.g.InDegree(n) {
+		return -1, 0, false
+	}
+	if s.dirty[n] {
+		s.rebuildArrival(n)
+	}
+	m1 := s.arrM1[n]
+	p1 := int(s.arrP1[n])
+	mloc := s.arrM2[n]
+	if f := s.arrFin[n]; f > mloc {
+		mloc = f
+	}
+	proc = -1
+	for p, lf := range s.lastFin {
+		drt := m1
+		if p == p1 {
+			drt = mloc
+		}
+		if lf > drt {
+			drt = lf
+		}
+		if proc == -1 || drt < est {
+			proc, est = p, drt
 		}
 	}
 	return proc, est, true

@@ -43,8 +43,12 @@ func (tl *Timeline) EarliestFit(ready, duration int64, insertion bool) int64 {
 		}
 		return ready
 	}
+	// Slots finishing at or before ready cannot bound the search: the
+	// gap start is clamped to ready and a usable gap must begin at or
+	// after it. Binary-search past them; timelines are finish-sorted.
 	prevFinish := int64(0)
-	for i := 0; i < len(tl.slots); i++ {
+	first := sort.Search(len(tl.slots), func(i int) bool { return tl.slots[i].Finish > ready })
+	for i := first; i < len(tl.slots); i++ {
 		gapStart := prevFinish
 		if gapStart < ready {
 			gapStart = ready
@@ -81,16 +85,22 @@ func (tl *Timeline) Insert(s Slot) error {
 }
 
 // Remove deletes the slot identified by (node, start) and reports whether
-// it was present.
+// it was present. The slot is located by binary search on the start
+// time; only zero-duration slots can share a start, so at most a couple
+// of entries are inspected after the search.
 func (tl *Timeline) Remove(node dag.NodeID, start int64) bool {
-	for i := range tl.slots {
-		if tl.slots[i].Node == node && tl.slots[i].Start == start {
+	i := sort.Search(len(tl.slots), func(i int) bool { return tl.slots[i].Start >= start })
+	for ; i < len(tl.slots) && tl.slots[i].Start == start; i++ {
+		if tl.slots[i].Node == node {
 			tl.slots = append(tl.slots[:i], tl.slots[i+1:]...)
 			return true
 		}
 	}
 	return false
 }
+
+// reset empties the timeline, keeping the slot capacity for reuse.
+func (tl *Timeline) reset() { tl.slots = tl.slots[:0] }
 
 // Validate checks the slots are sorted and non-overlapping.
 func (tl *Timeline) Validate() error {

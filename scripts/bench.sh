@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# bench.sh — run the tier-1 scheduling benchmarks and record the result
+# as one point of the repository's performance trajectory.
+#
+# Usage:
+#   scripts/bench.sh [-quick] [-out FILE] [-bench REGEX] [-baseline FILE]
+#
+#   -quick          one iteration, one count: a smoke run that proves the
+#                   benchmarks build and execute (used by CI; timings are
+#                   not meaningful)
+#   -out FILE       write the JSON report here (default: stdout)
+#   -bench REGEX    benchmark selector (default: the Table 6 end-to-end
+#                   run plus the per-algorithm kernels)
+#   -baseline FILE  embed an earlier report produced by this script as
+#                   the "baseline" field, for before/after records
+#
+# The committed BENCH_<n>.json files are successive outputs of this
+# script; see docs/performance.md for how to read them.
+set -eu -o pipefail
+cd "$(dirname "$0")/.."
+
+bench='BenchmarkTable6RunningTimes|BenchmarkAlgorithm/'
+benchtime=2x
+count=3
+out=""
+baseline=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -quick)
+        benchtime=1x
+        count=1
+        ;;
+    -out | -bench | -baseline)
+        if [ $# -lt 2 ]; then
+            echo "bench.sh: $1 needs a value" >&2
+            exit 2
+        fi
+        case "$1" in
+        -out) out="$2" ;;
+        -bench) bench="$2" ;;
+        -baseline) baseline="$2" ;;
+        esac
+        shift
+        ;;
+    *)
+        echo "bench.sh: unknown argument $1" >&2
+        exit 2
+        ;;
+    esac
+    shift
+done
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+# -run '^$' skips all tests; only benchmarks execute. A build or
+# benchmark failure fails the script (and the CI smoke job).
+go test -run '^$' -bench "$bench" -benchtime "$benchtime" -count "$count" . | tee "$raw" >&2
+
+report() {
+    printf '{\n'
+    printf '  "schema": "taskgraph-bench/v1",\n'
+    printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "cpu": "%s",\n' "$(awk -F': *' '/^cpu:/{print $2; exit}' "$raw")"
+    printf '  "benchtime": "%s",\n' "$benchtime"
+    printf '  "count": %s,\n' "$count"
+    printf '  "benchmarks": [\n'
+    awk '
+        /^Benchmark/ {
+            name = $1
+            sub(/-[0-9]+$/, "", name)
+            iters = $2
+            ns = $3
+            if (seen[name]++) {
+                runs[name] = runs[name] ", "
+            } else {
+                order[++n] = name
+            }
+            runs[name] = runs[name] sprintf("{\"iters\": %s, \"ns_per_op\": %s}", iters, ns)
+        }
+        END {
+            for (i = 1; i <= n; i++) {
+                name = order[i]
+                printf "    {\"name\": \"%s\", \"runs\": [%s]}%s\n", \
+                    name, runs[name], (i < n ? "," : "")
+            }
+        }
+    ' "$raw"
+    if [ -n "$baseline" ]; then
+        printf '  ],\n'
+        printf '  "baseline":\n'
+        sed 's/^/  /' "$baseline"
+        printf '\n}\n'
+    else
+        printf '  ]\n}\n'
+    fi
+}
+
+if [ -n "$out" ]; then
+    report >"$out"
+    echo "bench.sh: wrote $out" >&2
+else
+    report
+fi
