@@ -52,6 +52,46 @@ func BenchmarkFigure2NSL(b *testing.B)         { benchExperiment(b, "fig2") }
 func BenchmarkFigure3Processors(b *testing.B)  { benchExperiment(b, "fig3") }
 func BenchmarkFigure4Cholesky(b *testing.B)    { benchExperiment(b, "fig4") }
 
+// BenchmarkRobustExperiment runs the quick-scale Monte-Carlo
+// execution-robustness study end to end: every registered family,
+// BNP + APN schedules, 25 simulated executions each.
+func BenchmarkRobustExperiment(b *testing.B) { benchExperiment(b, "robust") }
+
+// BenchmarkSimMonteCarlo measures the execution simulator's
+// steady-state Monte-Carlo loop — schedule once, compile once, then
+// 100 perturbed discrete-event executions of a 100-node MCP schedule.
+// This is the per-cell kernel behind -exp robust and the simulator's
+// entry in the tracked BENCH_*.json trajectory.
+func BenchmarkSimMonteCarlo(b *testing.B) {
+	g, err := gen.Generate("rgnos", 7, gen.Params{"v": "100", "ccr": "1"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := ScheduleBNP("MCP", g, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := CompileSim(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := SimOptions{
+		Perturb: SimPerturbation{Dist: DistLognormal, TaskSpread: 0.3, CommSpread: 0.3},
+		Seed:    1998,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := SimMonteCarlo(plan, opts, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(st.MeanRatio, "mean-ratio")
+		}
+	}
+}
+
 // BenchmarkExperimentWorkers measures the parallel experiment runner's
 // scaling on table6, the heaviest quick-scale sweep (all 15 algorithms
 // over the RGNOS suite). Compare the workers=1 and workers=N lines to

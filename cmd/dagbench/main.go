@@ -6,9 +6,12 @@
 //	dagbench [-exp id[,id...]] [-scale quick|full] [-seed N] [-workers N]
 //
 // Experiment ids are table1..table6, fig2..fig4, the extension studies
-// unccs, tdb, and genx (the Canon et al. 2019 cross-generator ranking
-// stability study), or all (the default); a comma-separated list runs
-// several in order, e.g. -exp=table2,table3,genx.
+// unccs, tdb, genx (the Canon et al. 2019 cross-generator ranking
+// stability study), and robust (the Monte-Carlo execution-robustness
+// study on the internal/sim simulator), or all (the default); a
+// comma-separated list runs several in order, e.g.
+// -exp=table2,table3,genx. Unknown ids fail fast, before anything
+// runs, with the sorted list of valid names.
 //
 // With -scale=quick (the default) each experiment runs a reduced
 // workload in seconds; -scale=full reproduces the paper's instance
@@ -35,6 +38,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
@@ -51,7 +55,7 @@ func main() {
 // run returns the process exit code; it is named so the -memprofile
 // defer can fail the run after the experiments succeed.
 func run() (code int) {
-	exp := flag.String("exp", "all", "experiment id or comma-separated list (table1..table6, fig2..fig4, unccs, tdb, genx, or all)")
+	exp := flag.String("exp", "all", "experiment id or comma-separated list (table1..table6, fig2..fig4, unccs, tdb, genx, robust, or all)")
 	scale := flag.String("scale", "quick", "workload scale: quick or full")
 	seed := flag.Int64("seed", 1998, "random seed for the benchmark suites")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent scheduling cells (<= 0: GOMAXPROCS)")
@@ -110,6 +114,25 @@ func run() (code int) {
 	ids := taskgraph.ExperimentIDs()
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")
+		for i, id := range ids {
+			ids[i] = strings.TrimSpace(id)
+		}
+		// Validate every requested id against the experiment registry
+		// before running anything, so a typo fails fast with the menu
+		// instead of surfacing after earlier experiments already ran.
+		valid := make(map[string]bool, len(taskgraph.ExperimentIDs()))
+		for _, id := range taskgraph.ExperimentIDs() {
+			valid[id] = true
+		}
+		for _, id := range ids {
+			if !valid[id] {
+				names := append([]string(nil), taskgraph.ExperimentIDs()...)
+				sort.Strings(names)
+				fmt.Fprintf(os.Stderr, "dagbench: unknown experiment %q (valid: %s, or all)\n",
+					id, strings.Join(names, ", "))
+				return 2
+			}
+		}
 	}
 	for _, id := range ids {
 		start := time.Now()

@@ -23,11 +23,12 @@ import (
 // its own short-lived cache rather than rely on the process-wide
 // fallback, which is never evicted.
 type SuiteCache struct {
-	mu    sync.Mutex
-	rgbos map[suiteKey]map[float64][]degradationInstance
-	rgpos map[suiteKey]map[float64][]degradationInstance
-	rgnos map[suiteKey]map[int][]gen.NamedGraph
-	genx  map[suiteKey]map[string][]gen.NamedGraph
+	mu     sync.Mutex
+	rgbos  map[suiteKey]map[float64][]degradationInstance
+	rgpos  map[suiteKey]map[float64][]degradationInstance
+	rgnos  map[suiteKey]map[int][]gen.NamedGraph
+	genx   map[suiteKey]map[string][]gen.NamedGraph
+	robust map[suiteKey][]robustFamily
 }
 
 type suiteKey struct {
@@ -38,10 +39,11 @@ type suiteKey struct {
 // NewSuiteCache returns an empty suite cache.
 func NewSuiteCache() *SuiteCache {
 	return &SuiteCache{
-		rgbos: map[suiteKey]map[float64][]degradationInstance{},
-		rgpos: map[suiteKey]map[float64][]degradationInstance{},
-		rgnos: map[suiteKey]map[int][]gen.NamedGraph{},
-		genx:  map[suiteKey]map[string][]gen.NamedGraph{},
+		rgbos:  map[suiteKey]map[float64][]degradationInstance{},
+		rgpos:  map[suiteKey]map[float64][]degradationInstance{},
+		rgnos:  map[suiteKey]map[int][]gen.NamedGraph{},
+		genx:   map[suiteKey]map[string][]gen.NamedGraph{},
+		robust: map[suiteKey][]robustFamily{},
 	}
 }
 
@@ -194,6 +196,66 @@ func (c *SuiteCache) genxSuite(cfg Config) (map[string][]gen.NamedGraph, error) 
 	}
 	c.genx[k] = byFam
 	return byFam, nil
+}
+
+// robustSuite returns the execution-robustness study's instances, one
+// entry per registered generator family in name order, generating them
+// on the first request for (seed, scale). Random (v, ccr) families
+// contribute a matched grid of points; every other family contributes
+// one representative instance with its default parameters, so the
+// study exercises the whole registry. Per-instance seeds are mixed
+// from the run seed and the point coordinates, as in the genx suite.
+func (c *SuiteCache) robustSuite(cfg Config) ([]robustFamily, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := c.key(cfg)
+	if got, ok := c.robust[k]; ok {
+		return got, nil
+	}
+	sizes, ccrs, instances := robustPoints(cfg.Scale)
+	var fams []robustFamily
+	for fi, f := range gen.Generators() {
+		fam := robustFamily{name: f.Name}
+		if f.Random {
+			for _, v := range sizes {
+				for ci, ccr := range ccrs {
+					for i := 0; i < instances; i++ {
+						seed := cfg.Seed +
+							int64(fi+1)*1_000_003 +
+							int64(v)*7_919 +
+							int64(ci+1)*104_729 +
+							int64(i+1)*15_485_863
+						g, err := gen.Generate(f.Name, seed, gen.Params{
+							"v":   fmt.Sprint(v),
+							"ccr": fmt.Sprintf("%g", ccr),
+						})
+						if err != nil {
+							return nil, fmt.Errorf("robust: %s v=%d ccr=%g: %w", f.Name, v, ccr, err)
+						}
+						fam.graphs = append(fam.graphs, gen.NamedGraph{
+							Name: fmt.Sprintf("%s-v%d-ccr%g-i%d", f.Name, v, ccr, i),
+							G:    g,
+						})
+					}
+				}
+			}
+		} else {
+			g, err := gen.Generate(f.Name, cfg.Seed, robustFixedParams[f.Name])
+			if err != nil {
+				return nil, fmt.Errorf("robust: %s: %w", f.Name, err)
+			}
+			fam.graphs = append(fam.graphs, gen.NamedGraph{Name: f.Name + "-default", G: g})
+		}
+		fams = append(fams, fam)
+	}
+	c.robust[k] = fams
+	return fams, nil
+}
+
+// robustFixedParams overrides defaults for non-random families whose
+// default parameters do not yield a graph (psg requires a name).
+var robustFixedParams = map[string]gen.Params{
+	"psg": {"name": "kwok-ahmad-9"},
 }
 
 // rgnosSuite returns the RGNOS graphs grouped by size, generating them

@@ -63,7 +63,7 @@ func (a Algorithm) Run(g *dag.Graph, bnpProcs int, topo *machine.Topology) (Resu
 		if err != nil {
 			return Result{}, err
 		}
-		length, nsl, procs = s.Length(), s.NSL(), s.ProcessorsUsed()
+		length, nsl, procs = s.Makespan(), s.NSL(), s.ProcessorsUsed()
 		// The schedule is measured and discarded; recycling it lets the
 		// next cell on this worker run without allocating one.
 		s.Release()
@@ -72,7 +72,7 @@ func (a Algorithm) Run(g *dag.Graph, bnpProcs int, topo *machine.Topology) (Resu
 		if err != nil {
 			return Result{}, err
 		}
-		length, nsl, procs = s.Length(), s.NSL(), s.ProcessorsUsed()
+		length, nsl, procs = s.Makespan(), s.NSL(), s.ProcessorsUsed()
 		s.Release()
 	case APN:
 		if topo == nil {
@@ -82,7 +82,7 @@ func (a Algorithm) Run(g *dag.Graph, bnpProcs int, topo *machine.Topology) (Resu
 		if err != nil {
 			return Result{}, err
 		}
-		length, nsl, procs = s.Length(), s.NSL(), s.ProcessorsUsed()
+		length, nsl, procs = s.Makespan(), s.NSL(), s.ProcessorsUsed()
 	default:
 		return Result{}, fmt.Errorf("core: unknown class %q", a.Class)
 	}

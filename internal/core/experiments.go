@@ -65,6 +65,7 @@ func Experiments() []Experiment {
 		{"unccs", "Extension (paper section 7): BNP vs UNC + cluster scheduling", UNCCS},
 		{"tdb", "Extension (paper section 4): task duplication (DSH) vs non-duplication", TDB},
 		{"genx", "Extension (Canon et al. 2019): cross-generator ranking stability of the BNP algorithms", GenX},
+		{"robust", "Extension (Beránek et al.): Monte-Carlo execution robustness under perturbed durations and link contention", Robust},
 	}
 }
 

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRobustDeterministicAcrossWorkers pins the acceptance criterion
+// of the robustness study: for a fixed seed the output is
+// byte-identical at every worker count — the Monte-Carlo draws are
+// counter-based, so neither cell scheduling order nor concurrency can
+// leak into the bytes.
+func TestRobustDeterministicAcrossWorkers(t *testing.T) {
+	cache := NewSuiteCache()
+	base := runForOutput(t, "robust", 1, cache)
+	if !strings.Contains(base, "Kendall-tau") || !strings.Contains(base, "timetable") {
+		t.Fatalf("robust output missing expected sections:\n%s", base)
+	}
+	for _, workers := range []int{4, 8} {
+		if got := runForOutput(t, "robust", workers, cache); got != base {
+			t.Errorf("robust output with %d workers differs from serial:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
+				workers, base, workers, got)
+		}
+	}
+}
+
+// TestRobustSuiteCoversRegistry checks the study really runs every
+// registered generator family: each family name must appear as a row.
+func TestRobustSuiteCoversRegistry(t *testing.T) {
+	fams, err := NewSuiteCache().robustSuite(Config{Seed: 3, Scale: Quick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, f := range fams {
+		if len(f.graphs) == 0 {
+			t.Errorf("family %s contributed no instances", f.name)
+		}
+		names[f.name] = true
+	}
+	for _, want := range []string{"rgbos", "rgnos", "rgpos", "psg", "cholesky", "gauss", "fft", "lu", "layered", "erdos", "faninout"} {
+		if !names[want] {
+			t.Errorf("registered family %s missing from the robust suite", want)
+		}
+	}
+}

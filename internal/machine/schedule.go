@@ -40,6 +40,7 @@ type Schedule struct {
 	start  []int64
 	finish []int64
 	placed int
+	maxFin int64 // cached makespan: max task finish over all processors
 
 	// Query scratch, reused across planInbound calls so the hot
 	// ready×processor EST scans of the APN schedulers allocate nothing.
@@ -100,6 +101,27 @@ func (s *Schedule) FinishOf(n dag.NodeID) int64 { return s.finish[n] }
 
 // Slots returns the task timeline of processor p.
 func (s *Schedule) Slots(p int) []sched.Slot { return s.procs[p].Slots() }
+
+// LinkHop is one committed link reservation of a message, exposed for
+// consumers that replay schedules (the execution simulator): the
+// directed channel it occupies and the reserved interval.
+type LinkHop struct {
+	// From and To are the channel's endpoint processors.
+	From, To int
+	// Start and Finish bound the reservation on the link.
+	Start, Finish int64
+}
+
+// EachMessageHop calls fn for every committed link reservation of the
+// message on edge (parent → child), in route order. It calls fn zero
+// times when the edge needs no link time (co-located endpoints or a
+// zero-cost edge) or when the edge is not committed. The callback
+// style avoids allocating a hop slice per query.
+func (s *Schedule) EachMessageHop(parent, child dag.NodeID, fn func(LinkHop)) {
+	for _, h := range s.msgs[edgeKey{parent, child}] {
+		fn(LinkHop{From: int(h.link.from), To: int(h.link.to), Start: h.start, Finish: h.finish})
+	}
+}
 
 // LinkSlots returns the message reservations on the directed channel
 // from processor u to its neighbor v, in start order. Nil when the
@@ -325,6 +347,9 @@ func (s *Schedule) Place(n dag.NodeID, p int, start int64) error {
 	s.start[n] = start
 	s.finish[n] = start + s.g.Weight(n)
 	s.placed++
+	if s.finish[n] > s.maxFin {
+		s.maxFin = s.finish[n]
+	}
 	return nil
 }
 
@@ -357,23 +382,31 @@ func (s *Schedule) Unplace(n dag.NodeID) error {
 		}
 		delete(s.msgs, key)
 	}
+	removed := s.finish[n]
 	s.proc[n] = -1
 	s.start[n] = 0
 	s.finish[n] = 0
 	s.placed--
+	if removed == s.maxFin {
+		// The cached makespan may have been carried by the removed
+		// task; one scan over the per-processor tails restores it.
+		s.maxFin = 0
+		for i := range s.procs {
+			if f := s.procs[i].LastFinish(); f > s.maxFin {
+				s.maxFin = f
+			}
+		}
+	}
 	return nil
 }
 
+// Makespan returns the schedule length from the incrementally
+// maintained cache: Place folds each new finish time in, so the query
+// is O(1) instead of a scan over the processor timelines.
+func (s *Schedule) Makespan() int64 { return s.maxFin }
+
 // Length returns the makespan: the latest task finish time.
-func (s *Schedule) Length() int64 {
-	var max int64
-	for i := range s.procs {
-		if f := s.procs[i].LastFinish(); f > max {
-			max = f
-		}
-	}
-	return max
-}
+func (s *Schedule) Length() int64 { return s.maxFin }
 
 // ProcessorsUsed returns the number of processors running at least one
 // task.

@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dag"
+)
+
+// scanMakespan recomputes the makespan the slow way, straight from the
+// timelines, as the oracle for the cached value.
+func scanMakespan(s *Schedule) int64 {
+	var max int64
+	for p := 0; p < s.NumProcs(); p++ {
+		for _, sl := range s.Slots(p) {
+			if sl.Finish > max {
+				max = sl.Finish
+			}
+		}
+	}
+	return max
+}
+
+// TestMakespanCache drives a random place/unplace sequence and checks
+// the O(1) cached makespan against a full timeline scan after every
+// mutation — including removals of the task that carried the maximum.
+func TestMakespanCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	b := dag.NewBuilder()
+	const n = 40
+	for i := 0; i < n; i++ {
+		b.AddNode(int64(1 + rng.Intn(20)))
+	}
+	// A sparse chain keeps placements precedence-free so the test can
+	// place and remove in any order.
+	g := b.MustBuild()
+	s := New(g, 6)
+	if s.Makespan() != 0 {
+		t.Fatalf("empty schedule Makespan = %d", s.Makespan())
+	}
+	placed := map[dag.NodeID]bool{}
+	for step := 0; step < 400; step++ {
+		node := dag.NodeID(rng.Intn(n))
+		if placed[node] && rng.Intn(3) == 0 {
+			s.Unplace(node)
+			delete(placed, node)
+		} else if !placed[node] {
+			p := rng.Intn(6)
+			est, ok := s.ESTOn(node, p, false)
+			if !ok {
+				continue
+			}
+			s.MustPlace(node, p, est)
+			placed[node] = true
+		}
+		if got, want := s.Makespan(), scanMakespan(s); got != want {
+			t.Fatalf("step %d: cached Makespan %d != scanned %d", step, got, want)
+		}
+		if s.Length() != s.Makespan() {
+			t.Fatalf("Length %d disagrees with Makespan %d", s.Length(), s.Makespan())
+		}
+	}
+	// Reset must clear the cache.
+	s.Reset(g, 4)
+	if s.Makespan() != 0 {
+		t.Errorf("Makespan after Reset = %d, want 0", s.Makespan())
+	}
+}

@@ -65,6 +65,11 @@ type Schedule struct {
 	// non-insertion best-processor scan touches one cache line per few
 	// processors instead of chasing a slot slice per processor.
 	lastFin []int64
+
+	// maxFin caches the makespan (max over lastFin): Place folds each
+	// new finish in, so Makespan is O(1) instead of a scan. Unplace
+	// rebuilds it from lastFin only when the removed task carried it.
+	maxFin int64
 }
 
 // New returns an empty schedule for g on numProcs processors.
@@ -125,6 +130,7 @@ func (s *Schedule) Reset(g *dag.Graph, numProcs int) {
 		s.dirty[i] = false
 	}
 	s.placed = 0
+	s.maxFin = 0
 }
 
 // resize returns a slice of length n, reusing s's backing array when it
@@ -215,6 +221,9 @@ func (s *Schedule) Place(n dag.NodeID, p int, start int64) error {
 	if finish > s.lastFin[p] {
 		s.lastFin[p] = finish
 	}
+	if finish > s.maxFin {
+		s.maxFin = finish
+	}
 	// Fold the new arrival into each child's data-arrival cache.
 	pp := int32(p)
 	for _, a := range s.g.Succs(n) {
@@ -261,10 +270,19 @@ func (s *Schedule) Unplace(n dag.NodeID) {
 	}
 	s.procs[p].Remove(n, s.start[n])
 	s.lastFin[p] = s.procs[p].LastFinish()
+	removed := s.finish[n]
 	s.proc[n] = -1
 	s.start[n] = 0
 	s.finish[n] = 0
 	s.placed--
+	if removed == s.maxFin {
+		s.maxFin = 0
+		for _, f := range s.lastFin {
+			if f > s.maxFin {
+				s.maxFin = f
+			}
+		}
+	}
 	// Removing an arrival cannot be undone in O(1); mark each child's
 	// cache row for a lazy rebuild.
 	for _, a := range s.g.Succs(n) {
@@ -273,17 +291,15 @@ func (s *Schedule) Unplace(n dag.NodeID) {
 	}
 }
 
+// Makespan returns the schedule length from the incrementally
+// maintained cache: Place folds each new finish time into a running
+// maximum over the last-finish mirror, so the query is O(1) instead of
+// a scan over all processors. 0 for an empty schedule.
+func (s *Schedule) Makespan() int64 { return s.maxFin }
+
 // Length returns the schedule length (makespan): the latest finish time
 // over all processors, 0 for an empty schedule.
-func (s *Schedule) Length() int64 {
-	var max int64
-	for _, f := range s.lastFin {
-		if f > max {
-			max = f
-		}
-	}
-	return max
-}
+func (s *Schedule) Length() int64 { return s.maxFin }
 
 // ProcessorsUsed returns the number of processors with at least one task
 // (paper section 6.4.2).

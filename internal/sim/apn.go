@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/machine"
+)
+
+// CompileAPN translates a complete APN schedule into an executable
+// Plan. Tasks become jobs exactly as in the clique model; in addition,
+// every committed link reservation becomes a message-transfer job
+// whose duration is the (perturbable) edge cost. Arcs chain each
+// message store-and-forward along its committed route — parent task to
+// first hop, hop to hop, last hop to child task — and chain every
+// directed link channel through its transfers in static reservation
+// order, which is the per-link contention queue: a transfer cannot
+// begin until the channel has finished every transfer planned before
+// it. Co-located and zero-cost edges release the child directly.
+func CompileAPN(s *machine.Schedule) (*Plan, error) {
+	if !s.Complete() {
+		return nil, fmt.Errorf("sim: cannot compile a partial APN schedule (%d of %d tasks placed)",
+			s.Placed(), s.Graph().NumNodes())
+	}
+	g := s.Graph()
+	n := g.NumNodes()
+	var b planBuilder
+	b.plan.tasks = n
+	b.plan.numProcs = s.NumProcs()
+	b.plan.static = s.Makespan()
+	b.plan.jobs = make([]planJob, 0, n)
+	for v := 0; v < n; v++ {
+		node := dag.NodeID(v)
+		b.addJob(planJob{
+			base:    g.Weight(node),
+			planned: s.StartOf(node),
+			ent:     taskEnt(node),
+			proc:    int32(s.ProcOf(node)),
+		})
+	}
+	for p := 0; p < s.NumProcs(); p++ {
+		slots := s.Slots(p)
+		for i := 1; i < len(slots); i++ {
+			b.addArc(int32(slots[i-1].Node), int32(slots[i].Node), 0, 0)
+		}
+	}
+	// Message-hop jobs, one per committed link reservation, chained
+	// along the route, plus per-channel transfer lists for the
+	// contention queues. Channels are keyed by directed endpoint pair
+	// and discovered in deterministic edge order.
+	type chanHop struct {
+		job   int32
+		start int64 // static reservation start, the queue order key
+	}
+	chanIndex := map[[2]int]int{}
+	var chanHops [][]chanHop
+	for v := 0; v < n; v++ {
+		child := dag.NodeID(v)
+		for _, pr := range g.Preds(child) {
+			parent := pr.To
+			prev := int32(parent) // previous job in the message chain
+			s.EachMessageHop(parent, child, func(h machine.LinkHop) {
+				job := b.addJob(planJob{
+					base:    h.Finish - h.Start,
+					planned: h.Start,
+					ent:     commEnt(parent, child),
+					proc:    -1,
+				})
+				b.addArc(prev, job, 0, 0)
+				key := [2]int{h.From, h.To}
+				ci, ok := chanIndex[key]
+				if !ok {
+					ci = len(chanHops)
+					chanIndex[key] = ci
+					chanHops = append(chanHops, nil)
+				}
+				chanHops[ci] = append(chanHops[ci], chanHop{job: job, start: h.Start})
+				prev = job
+			})
+			// The child waits for the last hop, or directly for the
+			// parent when the edge needed no link time.
+			b.addArc(prev, int32(child), 0, 0)
+		}
+	}
+	// Contention queues: chain each channel's transfers in static
+	// start order. Static reservations on one channel never overlap
+	// and have positive duration, so starts are distinct and the
+	// order is total.
+	for _, hops := range chanHops {
+		sort.Slice(hops, func(i, j int) bool { return hops[i].start < hops[j].start })
+		for i := 1; i < len(hops); i++ {
+			b.addArc(hops[i-1].job, hops[i].job, 0, 0)
+		}
+	}
+	return b.finalize(), nil
+}
+
+// SimulateAPN compiles and executes a complete APN schedule once under
+// the given options (trial 0). For repeated execution compile once
+// with CompileAPN and call Plan.Run or MonteCarlo.
+func SimulateAPN(s *machine.Schedule, opts Options) (Result, error) {
+	plan, err := CompileAPN(s)
+	if err != nil {
+		return Result{}, err
+	}
+	mk, err := plan.Run(opts, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Static: plan.static, Makespan: mk, Ratio: ratio(mk, plan.static)}, nil
+}

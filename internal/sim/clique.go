@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/sched"
+)
+
+// Compile translates a complete clique-model schedule (BNP and UNC
+// classes) into an executable Plan. Jobs are the tasks; arcs encode
+// the static per-processor execution order (consecutive slots chain)
+// and every precedence edge, with the edge's communication cost as a
+// perturbable lag when the endpoints sit on different processors and
+// no lag when they are co-located.
+func Compile(s *sched.Schedule) (*Plan, error) {
+	if !s.Complete() {
+		return nil, fmt.Errorf("sim: cannot compile a partial schedule (%d of %d tasks placed)",
+			s.Placed(), s.Graph().NumNodes())
+	}
+	g := s.Graph()
+	n := g.NumNodes()
+	var b planBuilder
+	b.plan.tasks = n
+	b.plan.numProcs = s.NumProcs()
+	b.plan.static = s.Makespan()
+	b.plan.jobs = make([]planJob, 0, n)
+	for v := 0; v < n; v++ {
+		node := dag.NodeID(v)
+		b.addJob(planJob{
+			base:    g.Weight(node),
+			planned: s.StartOf(node),
+			ent:     taskEnt(node),
+			proc:    int32(s.ProcOf(node)),
+		})
+	}
+	// Processor-exclusivity chains: each processor runs its tasks in
+	// the static start order.
+	for p := 0; p < s.NumProcs(); p++ {
+		slots := s.Slots(p)
+		for i := 1; i < len(slots); i++ {
+			b.addArc(int32(slots[i-1].Node), int32(slots[i].Node), 0, 0)
+		}
+	}
+	// Precedence: co-located data is free, remote data pays the
+	// (perturbable) edge cost.
+	for v := 0; v < n; v++ {
+		node := dag.NodeID(v)
+		for _, a := range g.Succs(node) {
+			if s.ProcOf(node) == s.ProcOf(a.To) {
+				b.addArc(int32(node), int32(a.To), 0, 0)
+			} else {
+				b.addArc(int32(node), int32(a.To), a.Weight, commEnt(node, a.To))
+			}
+		}
+	}
+	return b.finalize(), nil
+}
+
+// Simulate compiles and executes a complete clique-model schedule once
+// under the given options (trial 0). For repeated execution compile
+// once with Compile and call Plan.Run or MonteCarlo.
+func Simulate(s *sched.Schedule, opts Options) (Result, error) {
+	plan, err := Compile(s)
+	if err != nil {
+		return Result{}, err
+	}
+	mk, err := plan.Run(opts, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Static: plan.static, Makespan: mk, Ratio: ratio(mk, plan.static)}, nil
+}

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/dag"
+)
+
+// Counter-based randomness: every multiplier is a pure hash of
+// (seed, trial, entity), so draws are independent of event-processing
+// order, identical for the same entity across algorithms and worker
+// counts, and reproducible without carrying generator state.
+
+// Entity keys name the perturbable quantities of a plan. The top two
+// bits carry the kind (task duration vs communication cost), which
+// selects the spread parameter; the low bits identify the task or the
+// task-graph edge. All hops of one message share the edge's key, so a
+// message is slow on every link of its route or on none.
+const (
+	entTask uint64 = 1 << 62
+	entComm uint64 = 2 << 62
+)
+
+// taskEnt returns the entity key of node n's duration.
+func taskEnt(n dag.NodeID) uint64 { return entTask | uint64(uint32(n)) }
+
+// commEnt returns the entity key of edge (u,v)'s communication cost.
+func commEnt(u, v dag.NodeID) uint64 {
+	return entComm | uint64(uint32(u))<<31 | uint64(uint32(v))
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a bijective
+// avalanche mix used here as a counter-based hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// trialSeed mixes the base seed with a trial number into the 64-bit
+// stream selector shared by every entity of that trial.
+func trialSeed(seed int64, trial int) uint64 {
+	return splitmix64(splitmix64(uint64(seed)) + uint64(int64(trial)))
+}
+
+// u01 maps 64 random bits to a float in [0, 1).
+func u01(x uint64) float64 { return float64(x>>11) / (1 << 53) }
+
+// u01pos maps 64 random bits to a float in (0, 1], safe for log.
+func u01pos(x uint64) float64 { return float64(x>>11+1) / (1 << 53) }
+
+// multiplier draws the duration multiplier of one entity for one
+// trial. DistNone and a zero spread yield exactly 1 with no draws, so
+// unperturbed runs stay in exact integer arithmetic.
+func (p *Perturbation) multiplier(trial uint64, ent uint64) float64 {
+	spread := p.TaskSpread
+	if ent&entComm != 0 {
+		spread = p.CommSpread
+	}
+	if p.Dist == DistNone || spread == 0 {
+		return 1
+	}
+	h := splitmix64(trial ^ splitmix64(ent))
+	switch p.Dist {
+	case DistUniform:
+		return 1 + spread*(2*u01(h)-1)
+	case DistLognormal:
+		// Box-Muller; the -spread²/2 shift makes the mean exactly 1.
+		z := math.Sqrt(-2*math.Log(u01pos(h))) * math.Cos(2*math.Pi*u01(splitmix64(h)))
+		return math.Exp(spread*z - spread*spread/2)
+	}
+	return 1
+}
+
+// scaleDur scales an integer duration by a multiplier, rounding to the
+// nearest tick and never going negative. m == 1 returns base exactly.
+func scaleDur(base int64, m float64) int64 {
+	if m == 1 || base == 0 {
+		return base
+	}
+	d := int64(math.Round(float64(base) * m))
+	if d < 0 {
+		return 0
+	}
+	return d
+}

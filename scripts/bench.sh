@@ -10,7 +10,8 @@
 #                   not meaningful)
 #   -out FILE       write the JSON report here (default: stdout)
 #   -bench REGEX    benchmark selector (default: the Table 6 end-to-end
-#                   run plus the per-algorithm kernels)
+#                   run, the per-algorithm kernels, and the execution
+#                   simulator's Monte-Carlo benchmark)
 #   -baseline FILE  embed an earlier report produced by this script as
 #                   the "baseline" field, for before/after records
 #
@@ -19,7 +20,7 @@
 set -eu -o pipefail
 cd "$(dirname "$0")/.."
 
-bench='BenchmarkTable6RunningTimes|BenchmarkAlgorithm/'
+bench='BenchmarkTable6RunningTimes|BenchmarkAlgorithm/|BenchmarkSimMonteCarlo'
 benchtime=2x
 count=3
 out=""

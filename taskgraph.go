@@ -44,6 +44,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/optimal"
 	"repro/internal/sched"
+	"repro/internal/sim"
 )
 
 // Core graph model, re-exported from the internal dag package.
@@ -270,6 +271,85 @@ func Generators() []Generator { return gen.Generators() }
 // malformed parameter values are errors.
 func Generate(name string, seed int64, params GeneratorParams) (*Graph, error) {
 	return gen.Generate(name, seed, params)
+}
+
+// Execution simulation (internal/sim): a deterministic, seeded
+// discrete-event engine that executes completed schedules under
+// perturbed task durations and communication costs — with per-link
+// contention queues for APN schedules — plus a Monte-Carlo harness
+// turning repeated executions into robustness statistics. The
+// "robust" experiment is built on this API.
+
+// SimPlan is a compiled schedule, executable any number of times by
+// the discrete-event engine; compile once, then Run or SimMonteCarlo.
+type SimPlan = sim.Plan
+
+// SimOptions parameterizes one simulated execution: perturbation
+// model, dispatch policy, seed, and optional per-processor slowdowns.
+type SimOptions = sim.Options
+
+// SimPerturbation configures the stochastic duration model: the
+// multiplier distribution and the task/communication spreads.
+type SimPerturbation = sim.Perturbation
+
+// SimResult reports one simulated execution: static makespan,
+// realized makespan, and their ratio.
+type SimResult = sim.Result
+
+// SimStats summarizes a Monte-Carlo execution study: mean/P99/max
+// realized makespan and realized/static ratios over the trials.
+type SimStats = sim.Stats
+
+// SimDistribution selects the perturbation distribution.
+type SimDistribution = sim.Distribution
+
+// SimPolicy selects the dispatch rule of the simulated runtime.
+type SimPolicy = sim.Policy
+
+// The perturbation distributions of the execution simulator.
+const (
+	// DistNone applies no perturbation (exact replay).
+	DistNone = sim.DistNone
+	// DistUniform draws duration multipliers from [1-s, 1+s].
+	DistUniform = sim.DistUniform
+	// DistLognormal draws mean-one lognormal duration multipliers.
+	DistLognormal = sim.DistLognormal
+)
+
+// The dispatch policies of the execution simulator.
+const (
+	// PolicyTimetable releases jobs no earlier than their planned
+	// static starts; zero perturbation replays the schedule exactly.
+	PolicyTimetable = sim.PolicyTimetable
+	// PolicyEager starts jobs as soon as their dependencies clear.
+	PolicyEager = sim.PolicyEager
+)
+
+// CompileSim compiles a complete clique-model schedule into an
+// executable SimPlan.
+func CompileSim(s *Schedule) (*SimPlan, error) { return sim.Compile(s) }
+
+// CompileSimAPN compiles a complete APN schedule — tasks plus its
+// committed link reservations, replayed through per-link contention
+// queues — into an executable SimPlan.
+func CompileSimAPN(s *APNSchedule) (*SimPlan, error) { return sim.CompileAPN(s) }
+
+// Simulate executes a complete clique-model schedule once under the
+// given options and returns the realized makespan next to the static
+// one.
+func Simulate(s *Schedule, opts SimOptions) (SimResult, error) { return sim.Simulate(s, opts) }
+
+// SimulateAPN executes a complete APN schedule once under the given
+// options, honoring link contention along every committed route.
+func SimulateAPN(s *APNSchedule, opts SimOptions) (SimResult, error) {
+	return sim.SimulateAPN(s, opts)
+}
+
+// SimMonteCarlo executes a compiled plan for the given number of
+// independent trials and returns realized-makespan statistics.
+// Results are deterministic in (opts, trials).
+func SimMonteCarlo(p *SimPlan, opts SimOptions, trials int) (SimStats, error) {
+	return sim.MonteCarlo(p, opts, trials)
 }
 
 // Experiment harness.

@@ -176,15 +176,16 @@ func TestGeneratorRegistryFacade(t *testing.T) {
 
 func TestExperimentIDsFacade(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 12 {
-		t.Fatalf("ExperimentIDs = %v, want 12 entries", ids)
+	if len(ids) != 13 {
+		t.Fatalf("ExperimentIDs = %v, want 13 entries", ids)
 	}
-	haveGenx := false
+	haveGenx, haveRobust := false, false
 	for _, id := range ids {
 		haveGenx = haveGenx || id == "genx"
+		haveRobust = haveRobust || id == "robust"
 	}
-	if !haveGenx {
-		t.Errorf("ExperimentIDs missing genx: %v", ids)
+	if !haveGenx || !haveRobust {
+		t.Errorf("ExperimentIDs missing genx or robust: %v", ids)
 	}
 	var sink bytes.Buffer
 	if err := RunExperiment("table1", ExperimentConfig{Seed: 1, Scale: Quick, Out: &sink}); err != nil {
@@ -245,5 +246,59 @@ func TestFacadeExtensions(t *testing.T) {
 	par, err := ScheduleOptimalParallel(g, 2, OptimalOptions{}, 4)
 	if err != nil || par.Length != 9 {
 		t.Errorf("parallel optimal = %d, err %v", par.Length, err)
+	}
+}
+
+func TestSimulationFacade(t *testing.T) {
+	g := buildDiamond(t)
+	s, err := ScheduleBNP("MCP", g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unperturbed timetable execution replays the schedule exactly.
+	res, err := Simulate(s, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Static != s.Makespan() || res.Makespan != res.Static || res.Ratio != 1 {
+		t.Errorf("zero-variance Simulate = %+v, static %d", res, s.Makespan())
+	}
+	plan, err := CompileSim(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := SimOptions{
+		Perturb: SimPerturbation{Dist: DistLognormal, TaskSpread: 0.3, CommSpread: 0.3},
+		Policy:  PolicyTimetable,
+		Seed:    1,
+	}
+	st, err := SimMonteCarlo(plan, opts, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Trials != 50 || st.Static != res.Static || st.MeanRatio < 1 {
+		t.Errorf("SimMonteCarlo stats = %+v", st)
+	}
+	st2, err := SimMonteCarlo(plan, opts, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MeanMakespan != st2.MeanMakespan {
+		t.Error("SimMonteCarlo not reproducible")
+	}
+
+	as, err := ScheduleAPN("MH", g, Hypercube(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ares, err := SimulateAPN(as, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ares.Makespan != as.Makespan() {
+		t.Errorf("zero-variance SimulateAPN = %+v, static %d", ares, as.Makespan())
+	}
+	if _, err := CompileSimAPN(as); err != nil {
+		t.Fatal(err)
 	}
 }
