@@ -57,6 +57,12 @@ func BenchmarkFigure4Cholesky(b *testing.B)    { benchExperiment(b, "fig4") }
 // BNP + APN schedules, 25 simulated executions each.
 func BenchmarkRobustExperiment(b *testing.B) { benchExperiment(b, "robust") }
 
+// BenchmarkComponents measures the component-attribution experiment:
+// the full 60-combo parameterized scheduler space over the matched
+// random-family grid on homogeneous and heterogeneous machines. It is
+// part of the tracked benchmark trajectory (scripts/bench.sh).
+func BenchmarkComponents(b *testing.B) { benchExperiment(b, "components") }
+
 // BenchmarkSimMonteCarlo measures the execution simulator's
 // steady-state Monte-Carlo loop — schedule once, compile once, then
 // 100 perturbed discrete-event executions of a 100-node MCP schedule.

@@ -7,11 +7,14 @@
 //
 // Experiment ids are table1..table6, fig2..fig4, the extension studies
 // unccs, tdb, genx (the Canon et al. 2019 cross-generator ranking
-// stability study), and robust (the Monte-Carlo execution-robustness
-// study on the internal/sim simulator), or all (the default); a
-// comma-separated list runs several in order, e.g.
-// -exp=table2,table3,genx. Unknown ids fail fast, before anything
-// runs, with the sorted list of valid names.
+// stability study), robust (the Monte-Carlo execution-robustness
+// study on the internal/sim simulator), and components (the component
+// attribution of the parameterized scheduler space on homogeneous and
+// heterogeneous machines), or all (the default); a comma-separated
+// list runs several in order, e.g. -exp=table2,table3,genx. Unknown
+// ids fail fast, before anything runs, with the sorted list of valid
+// names. -exp=list (or help) prints the registry, one id and title
+// per line, sorted by id, and exits.
 //
 // With -scale=quick (the default) each experiment runs a reduced
 // workload in seconds; -scale=full reproduces the paper's instance
@@ -109,6 +112,23 @@ func run() (code int) {
 	default:
 		fmt.Fprintf(os.Stderr, "dagbench: unknown scale %q (want quick or full)\n", *scale)
 		return 2
+	}
+
+	if *exp == "list" || *exp == "help" {
+		// Print the experiment registry, sorted by id, and exit without
+		// running anything.
+		exps := taskgraph.Experiments()
+		sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
+		width := 0
+		for _, e := range exps {
+			if len(e.ID) > width {
+				width = len(e.ID)
+			}
+		}
+		for _, e := range exps {
+			fmt.Fprintf(os.Stdout, "%-*s  %s\n", width, e.ID, e.Title)
+		}
+		return 0
 	}
 
 	ids := taskgraph.ExperimentIDs()

@@ -21,7 +21,7 @@ import (
 type ReadySet struct {
 	remaining []int // unscheduled parent count per node
 	ready     []dag.NodeID
-	inReady   []bool
+	pos       []int32 // node -> index in ready, -1 when not ready
 }
 
 // NewReadySet returns a ready set holding the entry nodes of g.
@@ -37,16 +37,17 @@ func (r *ReadySet) Reset(g *dag.Graph) {
 	n := g.NumNodes()
 	if cap(r.remaining) >= n {
 		r.remaining = r.remaining[:n]
-		r.inReady = r.inReady[:n]
+		r.pos = r.pos[:n]
 	} else {
 		r.remaining = make([]int, n)
-		r.inReady = make([]bool, n)
+		r.pos = make([]int32, n)
 	}
 	r.ready = r.ready[:0]
 	for v := 0; v < n; v++ {
 		r.remaining[v] = g.InDegree(dag.NodeID(v))
-		r.inReady[v] = r.remaining[v] == 0
-		if r.inReady[v] {
+		r.pos[v] = -1
+		if r.remaining[v] == 0 {
+			r.pos[v] = int32(len(r.ready))
 			r.ready = append(r.ready, dag.NodeID(v))
 		}
 	}
@@ -69,25 +70,27 @@ func (r *ReadySet) Release() { readyPool.Put(r) }
 
 // Ready returns the current ready nodes. The slice is shared with the
 // set; callers must not modify it and must not hold it across Pop or
-// MarkScheduled calls.
+// MarkScheduled calls. The order is unspecified: Pop swap-removes, so
+// callers must select by a total order (MaxBy/MinBy), never by index.
 func (r *ReadySet) Ready() []dag.NodeID { return r.ready }
 
 // Empty reports whether no node is ready.
 func (r *ReadySet) Empty() bool { return len(r.ready) == 0 }
 
-// Pop removes n from the ready list; it panics if n is not ready,
-// which would indicate a scheduler bug.
+// Pop removes n from the ready list in O(1) by swapping the last entry
+// into its tracked position; it panics if n is not ready, which would
+// indicate a scheduler bug.
 func (r *ReadySet) Pop(n dag.NodeID) {
-	if !r.inReady[n] {
+	i := r.pos[n]
+	if i < 0 {
 		panic("algo: Pop of non-ready node")
 	}
-	for i, m := range r.ready {
-		if m == n {
-			r.ready = append(r.ready[:i], r.ready[i+1:]...)
-			break
-		}
-	}
-	r.inReady[n] = false
+	last := len(r.ready) - 1
+	moved := r.ready[last]
+	r.ready[i] = moved
+	r.pos[moved] = i
+	r.ready = r.ready[:last]
+	r.pos[n] = -1
 }
 
 // MarkScheduled records that n (previously popped) has been scheduled
@@ -100,8 +103,8 @@ func (r *ReadySet) MarkScheduled(g *dag.Graph, n dag.NodeID) []dag.NodeID {
 	for _, a := range g.Succs(n) {
 		r.remaining[a.To]--
 		if r.remaining[a.To] == 0 {
+			r.pos[a.To] = int32(len(r.ready))
 			r.ready = append(r.ready, a.To)
-			r.inReady[a.To] = true
 		}
 	}
 	return r.ready[first:]

@@ -42,6 +42,41 @@ func checkArgs(g *dag.Graph, topo *machine.Topology) error {
 	return nil
 }
 
+// runs maps algorithm names to their speed-threaded inner entry points.
+var runs = map[string]func(*dag.Graph, *machine.Topology, []float64) (*machine.Schedule, error){
+	"MH":  runMH,
+	"DLS": runDLS,
+	"BU":  runBU,
+	"BSA": runBSA,
+}
+
+// ScheduleHet runs the named APN algorithm with per-processor speeds
+// (one positive factor per topology processor, nil for the homogeneous
+// model, where the result is byte-identical to the plain entry point).
+// Placement queries, migration evaluations, and committed execution
+// times are speed-aware; link transfer costs are unaffected.
+func ScheduleHet(name string, g *dag.Graph, topo *machine.Topology, speeds []float64) (*machine.Schedule, error) {
+	run, ok := runs[name]
+	if !ok {
+		return nil, fmt.Errorf("apn: unknown algorithm %q", name)
+	}
+	if err := checkArgs(g, topo); err != nil {
+		return nil, err
+	}
+	return run(g, topo, speeds)
+}
+
+// newSchedule builds an empty schedule with the optional speeds applied.
+func newSchedule(g *dag.Graph, topo *machine.Topology, speeds []float64) (*machine.Schedule, error) {
+	s := machine.NewSchedule(g, topo)
+	if speeds != nil {
+		if err := s.SetSpeeds(speeds); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
 // cpnDominantOrder returns the CPN-dominant sequence of the graph used
 // by BSA: critical-path nodes appear as early as their precedence
 // constraints allow, each preceded by its not-yet-listed ancestors

@@ -31,8 +31,15 @@ func BSA(g *dag.Graph, topo *machine.Topology) (*machine.Schedule, error) {
 	if err := checkArgs(g, topo); err != nil {
 		return nil, err
 	}
+	return runBSA(g, topo, nil)
+}
+
+// runBSA is BSA with an optional heterogeneous speed vector: the serial
+// pivot schedule, every migration-candidate replay, and the migration
+// accept/reject comparisons are all speed-aware.
+func runBSA(g *dag.Graph, topo *machine.Topology, speeds []float64) (*machine.Schedule, error) {
 	if g.NumNodes() == 0 {
-		return machine.NewSchedule(g, topo), nil
+		return newSchedule(g, topo, speeds)
 	}
 	order := cpnDominantOrder(g)
 	rank := make([]int, g.NumNodes())
@@ -43,7 +50,7 @@ func BSA(g *dag.Graph, topo *machine.Topology) (*machine.Schedule, error) {
 	seqs := make([][]dag.NodeID, topo.NumProcs())
 	seqs[pivot] = append([]dag.NodeID(nil), order...)
 
-	s, err := machine.ReplaySequences(g, topo, seqs)
+	s, err := machine.ReplaySequencesHet(g, topo, seqs, speeds)
 	if err != nil {
 		return nil, err
 	}
@@ -70,7 +77,7 @@ func BSA(g *dag.Graph, topo *machine.Topology) (*machine.Schedule, error) {
 				continue
 			}
 			candidate := moveNode(seqs, n, p, bestProc, rank)
-			ns, err := machine.ReplaySequences(g, topo, candidate)
+			ns, err := machine.ReplaySequencesHet(g, topo, candidate, speeds)
 			if err != nil || ns.StartOf(n) >= s.StartOf(n) || ns.Length() > s.Length() {
 				// The estimate was optimistic, or bubbling this node
 				// earlier pushed its successors' messages onto busier

@@ -22,9 +22,16 @@ func BU(g *dag.Graph, topo *machine.Topology) (*machine.Schedule, error) {
 	if err := checkArgs(g, topo); err != nil {
 		return nil, err
 	}
+	return runBU(g, topo, nil)
+}
+
+// runBU is BU with an optional heterogeneous speed vector, applied when
+// the fixed assignment is replayed into a schedule (the assignment pass
+// itself is load- and distance-driven, not time-driven).
+func runBU(g *dag.Graph, topo *machine.Topology, speeds []float64) (*machine.Schedule, error) {
 	n := g.NumNodes()
 	if n == 0 {
-		return machine.NewSchedule(g, topo), nil
+		return newSchedule(g, topo, speeds)
 	}
 	assign := make([]int, n)
 	for i := range assign {
@@ -73,7 +80,7 @@ func BU(g *dag.Graph, topo *machine.Topology) (*machine.Schedule, error) {
 	for _, v := range blevelOrder(g) {
 		seqs[assign[v]] = append(seqs[assign[v]], v)
 	}
-	return machine.ReplaySequences(g, topo, seqs)
+	return machine.ReplaySequencesHet(g, topo, seqs, speeds)
 }
 
 // bestConnectedProc returns the processor with the highest degree,

@@ -20,8 +20,16 @@ func DLS(g *dag.Graph, topo *machine.Topology) (*machine.Schedule, error) {
 	if err := checkArgs(g, topo); err != nil {
 		return nil, err
 	}
+	return runDLS(g, topo, nil)
+}
+
+// runDLS is APN DLS with an optional heterogeneous speed vector.
+func runDLS(g *dag.Graph, topo *machine.Topology, speeds []float64) (*machine.Schedule, error) {
 	sl := dag.StaticLevels(g)
-	s := machine.NewSchedule(g, topo)
+	s, err := newSchedule(g, topo, speeds)
+	if err != nil {
+		return nil, err
+	}
 	ready := algo.NewReadySet(g)
 	for !ready.Empty() {
 		bestNode := dag.None

@@ -25,8 +25,16 @@ func MH(g *dag.Graph, topo *machine.Topology) (*machine.Schedule, error) {
 	if err := checkArgs(g, topo); err != nil {
 		return nil, err
 	}
+	return runMH(g, topo, nil)
+}
+
+// runMH is MH with an optional heterogeneous speed vector.
+func runMH(g *dag.Graph, topo *machine.Topology, speeds []float64) (*machine.Schedule, error) {
 	sl := dag.StaticLevels(g)
-	s := machine.NewSchedule(g, topo)
+	s, err := newSchedule(g, topo, speeds)
+	if err != nil {
+		return nil, err
+	}
 	ready := algo.NewReadySet(g)
 	for !ready.Empty() {
 		n := algo.MaxBy(ready.Ready(), func(m dag.NodeID) int64 { return sl[m] })

@@ -63,7 +63,7 @@ func TestDLSInnerLoopAllocs(t *testing.T) {
 func TestMCPInnerLoopAllocs(t *testing.T) {
 	g := allocTestGraph(t)
 	const procs = 8
-	order := mcpOrder(g) // priority computation is per-graph, not per-run
+	order := algo.ALAPListOrder(g) // priority computation is per-graph, not per-run
 	s := sched.New(g, procs)
 	run := func() {
 		s.Reset(g, procs)

@@ -47,6 +47,49 @@ func checkArgs(g *dag.Graph, numProcs int) error {
 	return nil
 }
 
+// runs maps algorithm names to their inner loops, which operate on a
+// prepared (possibly heterogeneous) schedule.
+var runs = map[string]func(*dag.Graph, *sched.Schedule){
+	"HLFET": runHLFET,
+	"ISH":   runISH,
+	"ETF":   runETF,
+	"LAST":  runLAST,
+	"MCP":   runMCP,
+	"DLS":   runDLS,
+}
+
+// runBNP is the shared entry path of every BNP scheduler: validate,
+// acquire a schedule, optionally make it heterogeneous, and hand it to
+// the algorithm's inner loop.
+func runBNP(g *dag.Graph, numProcs int, speeds []float64, run func(*dag.Graph, *sched.Schedule)) (*sched.Schedule, error) {
+	if err := checkArgs(g, numProcs); err != nil {
+		return nil, err
+	}
+	s := sched.Acquire(g, numProcs)
+	if speeds != nil {
+		if err := s.SetSpeeds(speeds); err != nil {
+			s.Release()
+			return nil, err
+		}
+	}
+	run(g, s)
+	return s, nil
+}
+
+// ScheduleHet runs the named BNP algorithm on numProcs processors with
+// the given per-processor speed vector (nil for the homogeneous model,
+// where the result is byte-identical to the plain entry point). The
+// algorithms' priority attributes stay weight-based — only placement
+// queries and execution times are speed-aware; the component schedulers
+// of internal/algo/param add heterogeneity-aware selection rules.
+func ScheduleHet(name string, g *dag.Graph, numProcs int, speeds []float64) (*sched.Schedule, error) {
+	run, ok := runs[name]
+	if !ok {
+		return nil, fmt.Errorf("bnp: unknown algorithm %q", name)
+	}
+	return runBNP(g, numProcs, speeds, run)
+}
+
 // scratch bundles the per-run working state shared by the BNP
 // schedulers: the level attributes and, for the incremental ETF/DLS
 // kernels, the cached best (processor, EST) per ready node. Instances

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"testing"
 
+	"repro/internal/algo"
 	"repro/internal/dag"
 	"repro/internal/sched"
 )
@@ -245,11 +246,11 @@ func TestMCPOrderDiamond(t *testing.T) {
 	b.AddEdge(nb, nd, 2)
 	b.AddEdge(nc, nd, 3)
 	g := b.MustBuild()
-	order := mcpOrder(g)
+	order := algo.ALAPListOrder(g)
 	want := []dag.NodeID{na, nc, nb, nd}
 	for i := range want {
 		if order[i] != want[i] {
-			t.Fatalf("mcpOrder = %v, want %v", order, want)
+			t.Fatalf("ALAPListOrder = %v, want %v", order, want)
 		}
 	}
 }
@@ -270,7 +271,7 @@ func TestMCPListTieBrokenByDescendants(t *testing.T) {
 	// CP = 12 via x-u. ALAP: x = 0, u = 9, y = 2, v = 9.
 	// Lists: x = [0,9], y = [2,9]; x first. Then u (9 at head after
 	// parents) vs v [9]... order positions of x and y are what we check.
-	order := mcpOrder(g)
+	order := algo.ALAPListOrder(g)
 	posX, posY := -1, -1
 	for i, n := range order {
 		if n == x {

@@ -27,16 +27,16 @@ import (
 // plus the newly released nodes, are re-evaluated per step (see etf for
 // the argument).
 func DLS(g *dag.Graph, numProcs int) (*sched.Schedule, error) {
-	if err := checkArgs(g, numProcs); err != nil {
-		return nil, err
-	}
+	return runBNP(g, numProcs, nil, runDLS)
+}
+
+// runDLS acquires the pooled state and runs the DLS loop.
+func runDLS(g *dag.Graph, s *sched.Schedule) {
 	sc := acquireScratch(g)
 	defer sc.release()
 	ready := algo.AcquireReadySet(g)
 	defer ready.Release()
-	s := sched.Acquire(g, numProcs)
 	dls(g, s, ready, sc)
-	return s, nil
 }
 
 // dls runs the DLS loop on preallocated state.

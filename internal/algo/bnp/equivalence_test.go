@@ -164,10 +164,10 @@ func refHLFET(g *dag.Graph, numProcs int) *sched.Schedule {
 }
 
 // refMCP is the original MCP placement loop (insertion BestEST) over
-// the unchanged mcpOrder.
+// the unchanged ALAP-list order.
 func refMCP(g *dag.Graph, numProcs int) *sched.Schedule {
 	s := sched.New(g, numProcs)
-	for _, n := range mcpOrder(g) {
+	for _, n := range algo.ALAPListOrder(g) {
 		p, est, ok := refBestEST(s, g, n, true)
 		if !ok {
 			panic("refMCP: order is not topological")

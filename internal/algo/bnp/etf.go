@@ -24,16 +24,16 @@ import (
 // whose availability changed — plus the newly released nodes are
 // re-evaluated, each in O(p) with the O(1) EST query.
 func ETF(g *dag.Graph, numProcs int) (*sched.Schedule, error) {
-	if err := checkArgs(g, numProcs); err != nil {
-		return nil, err
-	}
+	return runBNP(g, numProcs, nil, runETF)
+}
+
+// runETF acquires the pooled state and runs the ETF loop.
+func runETF(g *dag.Graph, s *sched.Schedule) {
 	sc := acquireScratch(g)
 	defer sc.release()
 	ready := algo.AcquireReadySet(g)
 	defer ready.Release()
-	s := sched.Acquire(g, numProcs)
 	etf(g, s, ready, sc)
-	return s, nil
 }
 
 // etf runs the ETF loop on preallocated state.

@@ -14,13 +14,14 @@ import (
 // onto the processor that allows its earliest start time, without
 // insertion. Complexity O(v^2) for the list plus O(v·p) placements.
 func HLFET(g *dag.Graph, numProcs int) (*sched.Schedule, error) {
-	if err := checkArgs(g, numProcs); err != nil {
-		return nil, err
-	}
+	return runBNP(g, numProcs, nil, runHLFET)
+}
+
+// runHLFET is the HLFET loop on a prepared schedule.
+func runHLFET(g *dag.Graph, s *sched.Schedule) {
 	sc := acquireScratch(g)
 	defer sc.release()
 	sl := sc.lv.Static
-	s := sched.Acquire(g, numProcs)
 	ready := algo.AcquireReadySet(g)
 	defer ready.Release()
 	for !ready.Empty() {
@@ -33,5 +34,4 @@ func HLFET(g *dag.Graph, numProcs int) (*sched.Schedule, error) {
 		s.MustPlace(n, p, est)
 		ready.MarkScheduled(g, n)
 	}
-	return s, nil
 }

@@ -19,13 +19,14 @@ import (
 // that "insertion is better than non-insertion": the hole filling yields
 // dramatic improvements over plain HLFET at almost no complexity cost.
 func ISH(g *dag.Graph, numProcs int) (*sched.Schedule, error) {
-	if err := checkArgs(g, numProcs); err != nil {
-		return nil, err
-	}
+	return runBNP(g, numProcs, nil, runISH)
+}
+
+// runISH is the ISH loop on a prepared schedule.
+func runISH(g *dag.Graph, s *sched.Schedule) {
 	sc := acquireScratch(g)
 	defer sc.release()
 	sl := sc.lv.Static
-	s := sched.Acquire(g, numProcs)
 	ready := algo.AcquireReadySet(g)
 	defer ready.Release()
 	for !ready.Empty() {
@@ -45,7 +46,6 @@ func ISH(g *dag.Graph, numProcs int) (*sched.Schedule, error) {
 			fillHole(g, s, ready, sl, p, est)
 		}
 	}
-	return s, nil
 }
 
 // fillHole inserts ready nodes into idle time on processor p before the
@@ -59,7 +59,7 @@ func fillHole(g *dag.Graph, s *sched.Schedule, ready *algo.ReadySet, sl []int64,
 			if !ok {
 				continue
 			}
-			if est+g.Weight(m) > holeEnd {
+			if est+s.ExecTime(m, p) > holeEnd {
 				continue // does not complete inside the hole
 			}
 			if best == dag.None || sl[m] > sl[best] || (sl[m] == sl[best] && m < best) {

@@ -22,13 +22,14 @@ import (
 // algorithm (section 6.2) — localizing communication alone does not
 // shorten the critical path.
 func LAST(g *dag.Graph, numProcs int) (*sched.Schedule, error) {
-	if err := checkArgs(g, numProcs); err != nil {
-		return nil, err
-	}
+	return runBNP(g, numProcs, nil, runLAST)
+}
+
+// runLAST is the LAST loop on a prepared schedule.
+func runLAST(g *dag.Graph, s *sched.Schedule) {
 	sc := acquireScratch(g)
 	defer sc.release()
 	sl := sc.lv.Static
-	s := sched.Acquire(g, numProcs)
 	ready := algo.AcquireReadySet(g)
 	defer ready.Release()
 	for !ready.Empty() {
@@ -49,7 +50,6 @@ func LAST(g *dag.Graph, numProcs int) (*sched.Schedule, error) {
 		s.MustPlace(best, p, est)
 		ready.MarkScheduled(g, best)
 	}
-	return s, nil
 }
 
 // dNode computes the D_NODE attribute: the fraction of n's total

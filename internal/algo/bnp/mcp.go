@@ -1,9 +1,6 @@
 package bnp
 
 import (
-	"math/bits"
-	"sort"
-
 	"repro/internal/algo"
 	"repro/internal/dag"
 	"repro/internal/sched"
@@ -21,13 +18,12 @@ import (
 // The paper finds MCP to be the best BNP algorithm overall and the
 // fastest in running time despite its static priorities (section 7).
 func MCP(g *dag.Graph, numProcs int) (*sched.Schedule, error) {
-	if err := checkArgs(g, numProcs); err != nil {
-		return nil, err
-	}
-	order := mcpOrder(g)
-	s := sched.Acquire(g, numProcs)
-	mcpPlace(order, s)
-	return s, nil
+	return runBNP(g, numProcs, nil, runMCP)
+}
+
+// runMCP computes the ALAP-list order and runs the placement loop.
+func runMCP(g *dag.Graph, s *sched.Schedule) {
+	mcpPlace(algo.ALAPListOrder(g), s)
 }
 
 // mcpPlace runs MCP's placement loop — insertion-based earliest start
@@ -42,74 +38,4 @@ func mcpPlace(order []dag.NodeID, s *sched.Schedule) {
 		}
 		s.MustPlace(n, p, est)
 	}
-}
-
-// mcpOrder returns the nodes sorted by ascending lexicographic order of
-// their ALAP lists (own ALAP plus every descendant's, ascending).
-func mcpOrder(g *dag.Graph) []dag.NodeID {
-	n := g.NumNodes()
-	lv := dag.ComputeLevels(g)
-	lists := make([][]int64, n)
-	// Descendant sets via reverse-topological accumulation of bitsets.
-	words := (n + 63) / 64
-	desc := make([][]uint64, n)
-	topo := g.TopoOrder()
-	for i := n - 1; i >= 0; i-- {
-		v := topo[i]
-		row := make([]uint64, words)
-		for _, a := range g.Succs(v) {
-			row[a.To/64] |= 1 << (uint(a.To) % 64)
-			for w, bits := range desc[a.To] {
-				row[w] |= bits
-			}
-		}
-		desc[v] = row
-	}
-	for v := 0; v < n; v++ {
-		list := []int64{lv.ALAP[v]}
-		for w := 0; w < words; w++ {
-			word := desc[v][w]
-			for word != 0 {
-				d := w*64 + bits.TrailingZeros64(word)
-				word &= word - 1
-				list = append(list, lv.ALAP[d])
-			}
-		}
-		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
-		lists[v] = list
-	}
-	// Rank nodes by lexicographic list order, then emit them with a
-	// priority-driven topological pass. For positive node weights a
-	// parent's list always precedes its child's, so the pass reproduces
-	// plain lexicographic order; with zero-weight nodes it still yields a
-	// valid scheduling order.
-	rank := make([]int, n)
-	byList := make([]dag.NodeID, n)
-	for v := range byList {
-		byList[v] = dag.NodeID(v)
-	}
-	sort.SliceStable(byList, func(i, j int) bool {
-		a, b := lists[byList[i]], lists[byList[j]]
-		for k := 0; k < len(a) && k < len(b); k++ {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
-		}
-		if len(a) != len(b) {
-			return len(a) < len(b)
-		}
-		return byList[i] < byList[j]
-	})
-	for i, v := range byList {
-		rank[v] = i
-	}
-	ready := algo.NewReadySet(g)
-	order := make([]dag.NodeID, 0, n)
-	for !ready.Empty() {
-		next := algo.MinBy(ready.Ready(), func(n dag.NodeID) int64 { return int64(rank[n]) })
-		ready.Pop(next)
-		ready.MarkScheduled(g, next)
-		order = append(order, next)
-	}
-	return order
 }

@@ -1,0 +1,238 @@
+package param
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/algo"
+	"repro/internal/dag"
+	"repro/internal/sched"
+)
+
+// engine is the pooled per-run state of the generic component
+// scheduler: level attributes, the static priority ranks, the median
+// execution times (RuleDL only), and the per-ready-node cache of the
+// best placement under the combo's rule.
+type engine struct {
+	lv       dag.Levels
+	rank     []int32
+	med      []int64
+	execBuf  []int64
+	nodes    []dag.NodeID
+	bestProc []int32
+	bestEST  []int64
+	bestObj  []int64
+}
+
+var enginePool = sync.Pool{New: func() any { return new(engine) }}
+
+func acquireEngine(g *dag.Graph) *engine {
+	e := enginePool.Get().(*engine)
+	e.lv.Compute(g)
+	n := g.NumNodes()
+	if cap(e.rank) >= n {
+		e.rank = e.rank[:n]
+		e.med = e.med[:n]
+		e.bestProc = e.bestProc[:n]
+		e.bestEST = e.bestEST[:n]
+		e.bestObj = e.bestObj[:n]
+	} else {
+		e.rank = make([]int32, n)
+		e.med = make([]int64, n)
+		e.bestProc = make([]int32, n)
+		e.bestEST = make([]int64, n)
+		e.bestObj = make([]int64, n)
+	}
+	return e
+}
+
+func (e *engine) release() { enginePool.Put(e) }
+
+// run executes the combo on a prepared (possibly heterogeneous)
+// schedule.
+func run(c Combo, g *dag.Graph, s *sched.Schedule) {
+	e := acquireEngine(g)
+	defer e.release()
+	e.computeRanks(c.Metric, g)
+	if c.Rule == RuleDL {
+		e.computeMedians(g, s)
+	}
+	ready := algo.AcquireReadySet(g)
+	defer ready.Release()
+
+	if c.Regime == RegimeStatic {
+		// Fixed priority list: pop by static rank, place by rule+slot.
+		for !ready.Empty() {
+			n := algo.MinBy(ready.Ready(), func(m dag.NodeID) int64 { return int64(e.rank[m]) })
+			ready.Pop(n)
+			e.eval(c, s, n)
+			s.MustPlace(n, int(e.bestProc[n]), e.bestEST[n])
+			ready.MarkScheduled(g, n)
+		}
+		return
+	}
+
+	// Dynamic regime: every ready node caches its best placement under
+	// the rule; each step schedules the globally best (node, processor)
+	// pair and re-evaluates only the nodes whose cached processor just
+	// changed, plus the newly released ones. The incremental argument is
+	// the one proved for the ETF kernel (internal/algo/bnp): a
+	// placement only affects the receiving processor, and only for the
+	// worse — under either slot policy, adding a slot can never open an
+	// earlier fit on it — so a cached best on another processor stays
+	// optimal.
+	for _, m := range ready.Ready() {
+		e.eval(c, s, m)
+	}
+	for !ready.Empty() {
+		bestNode := dag.None
+		if c.Metric == MetricDL {
+			// Maximize the dynamic level SL − objective, ties toward the
+			// smaller node ID (Sih & Lee).
+			var bestDL int64
+			for _, m := range ready.Ready() {
+				dl := e.lv.Static[m] - e.bestObj[m]
+				if bestNode == dag.None || dl > bestDL || (dl == bestDL && m < bestNode) {
+					bestNode, bestDL = m, dl
+				}
+			}
+		} else {
+			// Minimize the objective, ties by static rank (for MetricSL
+			// this is ETF's higher-static-level-then-smaller-ID chain).
+			var bestObj int64
+			for _, m := range ready.Ready() {
+				obj := e.bestObj[m]
+				if bestNode == dag.None || obj < bestObj ||
+					(obj == bestObj && e.rank[m] < e.rank[bestNode]) {
+					bestNode, bestObj = m, obj
+				}
+			}
+		}
+		placed := e.bestProc[bestNode]
+		ready.Pop(bestNode)
+		s.MustPlace(bestNode, int(placed), e.bestEST[bestNode])
+		for _, m := range ready.Ready() {
+			if e.bestProc[m] == placed {
+				e.eval(c, s, m)
+			}
+		}
+		for _, m := range ready.MarkScheduled(g, bestNode) {
+			e.eval(c, s, m)
+		}
+	}
+}
+
+// eval caches the best placement of ready node n under the combo's rule
+// and slot policy: the processor minimizing the rule's objective, ties
+// toward lower indices, with the EST at that processor.
+func (e *engine) eval(c Combo, s *sched.Schedule, n dag.NodeID) {
+	insertion := c.Slot == SlotInsertion
+	if c.Rule == RuleEST {
+		var (
+			p   int
+			est int64
+			ok  bool
+		)
+		if insertion {
+			p, est, ok = s.BestEST(n, true)
+		} else {
+			p, est, ok = s.BestESTNonInsertion(n)
+		}
+		if !ok {
+			panic("param: ready node has unscheduled parent")
+		}
+		e.bestProc[n], e.bestEST[n], e.bestObj[n] = int32(p), est, est
+		return
+	}
+	best := -1
+	var bestEST, bestObj int64
+	for p := 0; p < s.NumProcs(); p++ {
+		est, ok := s.ESTOn(n, p, insertion)
+		if !ok {
+			panic("param: ready node has unscheduled parent")
+		}
+		obj := est + s.ExecTime(n, p)
+		if best == -1 || obj < bestObj {
+			best, bestEST, bestObj = p, est, obj
+		}
+	}
+	if c.Rule == RuleDL {
+		// The median is a per-node constant: it cannot change the argmin
+		// over processors, only the objective value carried into dynamic
+		// node selection.
+		bestObj -= e.med[n]
+	}
+	e.bestProc[n], e.bestEST[n], e.bestObj[n] = int32(best), bestEST, bestObj
+}
+
+// computeRanks fills e.rank with the metric's static total order:
+// rank 0 is scheduled first. Every order ties toward the smaller node
+// ID, so ranks are a permutation.
+func (e *engine) computeRanks(m Metric, g *dag.Graph) {
+	n := g.NumNodes()
+	if m == MetricALAP {
+		for i, nd := range algo.ALAPListOrder(g) {
+			e.rank[nd] = int32(i)
+		}
+		return
+	}
+	nodes := e.nodes[:0]
+	for v := 0; v < n; v++ {
+		nodes = append(nodes, dag.NodeID(v))
+	}
+	e.nodes = nodes
+	var key func(dag.NodeID) int64
+	switch m {
+	case MetricSL, MetricDL:
+		// Descending static level; MetricDL's static part is the static
+		// level, so the two share a rank order.
+		key = func(v dag.NodeID) int64 { return -e.lv.Static[v] }
+	case MetricTL:
+		// Ascending t-level: earliest possible start first.
+		key = func(v dag.NodeID) int64 { return e.lv.T[v] }
+	case MetricBT:
+		// Descending t-level + b-level: critical-path nodes first.
+		key = func(v dag.NodeID) int64 { return -(e.lv.T[v] + e.lv.B[v]) }
+	default:
+		panic("param: unknown metric")
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		ki, kj := key(nodes[i]), key(nodes[j])
+		if ki != kj {
+			return ki < kj
+		}
+		return nodes[i] < nodes[j]
+	})
+	for i, nd := range nodes {
+		e.rank[nd] = int32(i)
+	}
+}
+
+// computeMedians fills e.med with each node's lower median execution
+// time across processors, the reference point of RuleDL's objective. On
+// a homogeneous schedule this is simply the node weight.
+func (e *engine) computeMedians(g *dag.Graph, s *sched.Schedule) {
+	if s.Speeds() == nil {
+		for v := 0; v < g.NumNodes(); v++ {
+			e.med[v] = g.Weight(dag.NodeID(v))
+		}
+		return
+	}
+	numProcs := s.NumProcs()
+	buf := e.execBuf[:0]
+	for v := 0; v < g.NumNodes(); v++ {
+		buf = buf[:0]
+		for p := 0; p < numProcs; p++ {
+			// Insertion sort: numProcs is small (≤ 32 in the study).
+			t := s.ExecTime(dag.NodeID(v), p)
+			i := len(buf)
+			buf = append(buf, t)
+			for i > 0 && buf[i-1] > buf[i] {
+				buf[i-1], buf[i] = buf[i], buf[i-1]
+				i--
+			}
+		}
+		e.med[v] = buf[(numProcs-1)/2]
+	}
+	e.execBuf = buf
+}

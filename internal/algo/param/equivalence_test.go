@@ -1,0 +1,46 @@
+package param
+
+import (
+	"testing"
+
+	"repro/internal/algo/bnp"
+)
+
+// TestRegisteredCombosMatchKernels pins the tentpole claim: the four
+// classic algorithms expressed as component combinations produce
+// byte-identical schedules to the optimized monolithic kernels in
+// internal/algo/bnp, over every registered generator family × seeds ×
+// CCRs × processor counts.
+func TestRegisteredCombosMatchKernels(t *testing.T) {
+	kernels := bnp.Algorithms()
+	for _, seed := range []int64{1, 2, 3} {
+		for _, ccr := range []float64{0.5, 2.0} {
+			graphs := equivalenceGraphs(t, seed, ccr)
+			for famName, g := range graphs {
+				for _, procs := range []int{2, 8} {
+					for _, name := range []string{"HLFET", "MCP", "ETF", "DLS"} {
+						combo, ok := Lookup(name)
+						if !ok {
+							t.Fatalf("combo %q not registered", name)
+						}
+						ref, err := kernels[name](g, procs)
+						if err != nil {
+							t.Fatalf("bnp %s on %s: %v", name, famName, err)
+						}
+						want := ref.String()
+						ref.Release()
+						s, err := combo.Schedule(g, procs, nil)
+						if err != nil {
+							t.Fatalf("combo %s on %s: %v", name, famName, err)
+						}
+						if got := s.String(); got != want {
+							t.Errorf("combo %s (%s) diverges from bnp kernel on %s (seed=%d ccr=%g procs=%d):\ncombo:\n%s\nkernel:\n%s",
+								name, combo.Name(), famName, seed, ccr, procs, got, want)
+						}
+						s.Release()
+					}
+				}
+			}
+		}
+	}
+}

@@ -33,8 +33,14 @@ func DCP(g *dag.Graph) (*sched.Schedule, error) {
 	if err := checkGraph(g); err != nil {
 		return nil, err
 	}
+	return runDCP(g, nil)
+}
+
+// runDCP is DCP with an optional heterogeneous speed prefix: placement
+// queries against the partial schedule are speed-aware.
+func runDCP(g *dag.Graph, speeds []float64) (*sched.Schedule, error) {
 	n := g.NumNodes()
-	s := sched.Acquire(g, max(n, 1))
+	s := acquire(g, max(n, 1), speeds)
 	if n == 0 {
 		return s, nil
 	}

@@ -27,8 +27,14 @@ func DSC(g *dag.Graph) (*sched.Schedule, error) {
 	if err := checkGraph(g); err != nil {
 		return nil, err
 	}
+	return runDSC(g, nil)
+}
+
+// runDSC is DSC with an optional heterogeneous speed prefix: the
+// incremental start times that drive the merge decisions are speed-aware.
+func runDSC(g *dag.Graph, speeds []float64) (*sched.Schedule, error) {
 	n := g.NumNodes()
-	s := sched.Acquire(g, max(n, 1))
+	s := acquire(g, max(n, 1), speeds)
 	if n == 0 {
 		return s, nil
 	}

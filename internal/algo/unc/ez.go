@@ -22,9 +22,16 @@ func EZ(g *dag.Graph) (*sched.Schedule, error) {
 	if err := checkGraph(g); err != nil {
 		return nil, err
 	}
+	return runEZ(g, nil)
+}
+
+// runEZ is EZ with an optional heterogeneous speed prefix: both the
+// per-merge parallel-time estimates and the final schedule use it, so
+// the zeroing decisions account for processor speeds.
+func runEZ(g *dag.Graph, speeds []float64) (*sched.Schedule, error) {
 	n := g.NumNodes()
 	if n == 0 {
-		return sched.New(g, 1), nil
+		return acquire(g, 1, speeds), nil
 	}
 
 	type edge struct {
@@ -55,7 +62,7 @@ func EZ(g *dag.Graph) (*sched.Schedule, error) {
 		members[v] = []dag.NodeID{dag.NodeID(v)}
 	}
 	estimate := func() int64 {
-		s := scheduleAssignment(g, order, assign, n)
+		s := scheduleAssignment(g, order, assign, n, speeds)
 		l := s.Length()
 		s.Release() // estimates are per-edge; recycle the trial schedule
 		return l
@@ -92,5 +99,5 @@ func EZ(g *dag.Graph) (*sched.Schedule, error) {
 		members[cv] = append(members[cv], tail...)
 		members[cu] = members[cu][:len(members[cu])-moved]
 	}
-	return scheduleAssignment(g, order, assign, n), nil
+	return scheduleAssignment(g, order, assign, n, speeds), nil
 }

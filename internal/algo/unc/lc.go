@@ -20,9 +20,15 @@ func LC(g *dag.Graph) (*sched.Schedule, error) {
 	if err := checkGraph(g); err != nil {
 		return nil, err
 	}
+	return runLC(g, nil)
+}
+
+// runLC is LC with an optional heterogeneous speed prefix applied to
+// the final cluster schedule (the clustering itself is graph-driven).
+func runLC(g *dag.Graph, speeds []float64) (*sched.Schedule, error) {
 	n := g.NumNodes()
 	if n == 0 {
-		return sched.New(g, 1), nil
+		return acquire(g, 1, speeds), nil
 	}
 
 	assign := make([]int, n)
@@ -105,5 +111,5 @@ func LC(g *dag.Graph) (*sched.Schedule, error) {
 			cur = next
 		}
 	}
-	return scheduleAssignment(g, blevelOrder(g), assign, nextCluster), nil
+	return scheduleAssignment(g, blevelOrder(g), assign, nextCluster, speeds), nil
 }

@@ -43,6 +43,56 @@ func checkGraph(g *dag.Graph) error {
 	return nil
 }
 
+// runs maps algorithm names to their speed-threaded inner entry points.
+var runs = map[string]func(*dag.Graph, []float64) (*sched.Schedule, error){
+	"EZ":  runEZ,
+	"LC":  runLC,
+	"DSC": runDSC,
+	"MD":  runMD,
+	"DCP": runDCP,
+}
+
+// ScheduleHet runs the named UNC algorithm with per-processor speeds.
+// UNC algorithms open processors as they cluster, up to one per node, so
+// speeds must cover g.NumNodes() processors (at least one); every
+// schedule the algorithm builds — including tentative estimates — uses
+// the matching prefix, so clustering decisions see the heterogeneous
+// execution times. Nil speeds reproduce the plain entry point
+// byte-identically.
+func ScheduleHet(name string, g *dag.Graph, speeds []float64) (*sched.Schedule, error) {
+	run, ok := runs[name]
+	if !ok {
+		return nil, fmt.Errorf("unc: unknown algorithm %q", name)
+	}
+	if err := checkGraph(g); err != nil {
+		return nil, err
+	}
+	if speeds != nil {
+		need := max(g.NumNodes(), 1)
+		if len(speeds) < need {
+			return nil, fmt.Errorf("unc: %d speed factors cannot cover %d processors", len(speeds), need)
+		}
+		for p, sp := range speeds {
+			if !(sp > 0) {
+				return nil, fmt.Errorf("unc: speed factor %g for processor %d must be positive", sp, p)
+			}
+		}
+	}
+	return run(g, speeds)
+}
+
+// acquire returns an empty schedule on numProcs processors with the
+// optional speed prefix applied. ScheduleHet validated the vector.
+func acquire(g *dag.Graph, numProcs int, speeds []float64) *sched.Schedule {
+	s := sched.Acquire(g, numProcs)
+	if speeds != nil {
+		if err := s.SetSpeeds(speeds[:numProcs]); err != nil {
+			panic(err)
+		}
+	}
+	return s
+}
+
 // blevelOrder returns the nodes in descending b-level order, enforced to
 // be topological via a priority-driven Kahn pass (for positive node
 // weights descending b-level is already topological; zero-weight nodes
@@ -66,8 +116,8 @@ func blevelOrder(g *dag.Graph) []dag.NodeID {
 // topological), each at its earliest start time on its assigned
 // processor without insertion. This is the cluster-ordering step shared
 // by EZ and LC.
-func scheduleAssignment(g *dag.Graph, order []dag.NodeID, assign []int, numProcs int) *sched.Schedule {
-	s := sched.Acquire(g, numProcs)
+func scheduleAssignment(g *dag.Graph, order []dag.NodeID, assign []int, numProcs int, speeds []float64) *sched.Schedule {
+	s := acquire(g, numProcs, speeds)
 	for _, n := range order {
 		est, ok := s.ESTOn(n, assign[n], false)
 		if !ok {

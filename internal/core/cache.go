@@ -28,6 +28,7 @@ type SuiteCache struct {
 	rgpos  map[suiteKey]map[float64][]degradationInstance
 	rgnos  map[suiteKey]map[int][]gen.NamedGraph
 	genx   map[suiteKey]map[string][]gen.NamedGraph
+	comp   map[suiteKey]map[string][]gen.NamedGraph
 	robust map[suiteKey][]robustFamily
 }
 
@@ -43,6 +44,7 @@ func NewSuiteCache() *SuiteCache {
 		rgpos:  map[suiteKey]map[float64][]degradationInstance{},
 		rgnos:  map[suiteKey]map[int][]gen.NamedGraph{},
 		genx:   map[suiteKey]map[string][]gen.NamedGraph{},
+		comp:   map[suiteKey]map[string][]gen.NamedGraph{},
 		robust: map[suiteKey][]robustFamily{},
 	}
 }
@@ -166,6 +168,39 @@ func (c *SuiteCache) genxSuite(cfg Config) (map[string][]gen.NamedGraph, error) 
 		return got, nil
 	}
 	sizes, ccrs, instances := genxPoints(cfg.Scale)
+	byFam, err := matchedFamilySuite("genx", cfg.Seed, sizes, ccrs, instances)
+	if err != nil {
+		return nil, err
+	}
+	c.genx[k] = byFam
+	return byFam, nil
+}
+
+// componentsSuite returns the component-attribution study's instances
+// grouped by family name, generating them on the first request for
+// (seed, scale). It is the same matched-grid construction as the genx
+// suite on the grid of componentsPoints.
+func (c *SuiteCache) componentsSuite(cfg Config) (map[string][]gen.NamedGraph, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := c.key(cfg)
+	if got, ok := c.comp[k]; ok {
+		return got, nil
+	}
+	sizes, ccrs, instances := componentsPoints(cfg.Scale)
+	byFam, err := matchedFamilySuite("components", cfg.Seed, sizes, ccrs, instances)
+	if err != nil {
+		return nil, err
+	}
+	c.comp[k] = byFam
+	return byFam, nil
+}
+
+// matchedFamilySuite builds one matched (size, CCR, instance) grid of
+// instances per registered random family. Per-instance seeds are mixed
+// from the run seed and the point coordinates, so the suite is
+// deterministic and no two points share a generator stream.
+func matchedFamilySuite(exp string, runSeed int64, sizes []int, ccrs []float64, instances int) (map[string][]gen.NamedGraph, error) {
 	byFam := map[string][]gen.NamedGraph{}
 	for fi, f := range gen.RandomFamilies() {
 		for _, v := range sizes {
@@ -173,7 +208,7 @@ func (c *SuiteCache) genxSuite(cfg Config) (map[string][]gen.NamedGraph, error) 
 				for i := 0; i < instances; i++ {
 					// Distinct large-prime strides keep the mixed seeds
 					// unique across the four grid coordinates.
-					seed := cfg.Seed +
+					seed := runSeed +
 						int64(fi+1)*1_000_003 +
 						int64(v)*7_919 +
 						int64(ci+1)*104_729 +
@@ -183,7 +218,7 @@ func (c *SuiteCache) genxSuite(cfg Config) (map[string][]gen.NamedGraph, error) 
 						"ccr": fmt.Sprintf("%g", ccr),
 					})
 					if err != nil {
-						return nil, fmt.Errorf("genx: %s v=%d ccr=%g: %w", f.Name, v, ccr, err)
+						return nil, fmt.Errorf("%s: %s v=%d ccr=%g: %w", exp, f.Name, v, ccr, err)
 					}
 					byFam[f.Name] = append(byFam[f.Name], gen.NamedGraph{
 						Name:   fmt.Sprintf("%s-v%d-ccr%g-i%d", f.Name, v, ccr, i),
@@ -194,7 +229,6 @@ func (c *SuiteCache) genxSuite(cfg Config) (map[string][]gen.NamedGraph, error) 
 			}
 		}
 	}
-	c.genx[k] = byFam
 	return byFam, nil
 }
 

@@ -12,19 +12,23 @@ import (
 
 	"repro/internal/algo/apn"
 	"repro/internal/algo/bnp"
+	"repro/internal/algo/param"
 	"repro/internal/algo/unc"
 	"repro/internal/dag"
 	"repro/internal/machine"
+	"repro/internal/sched"
 )
 
 // Class identifies an algorithm family from the paper's taxonomy.
 type Class string
 
-// The three algorithm classes compared by the paper (section 4).
+// The three algorithm classes compared by the paper (section 4), plus
+// the parameterized component combinations of internal/algo/param.
 const (
-	BNP Class = "BNP" // bounded number of processors, clique
-	UNC Class = "UNC" // unbounded number of clusters, clique
-	APN Class = "APN" // arbitrary processor network with link contention
+	BNP   Class = "BNP"   // bounded number of processors, clique
+	UNC   Class = "UNC"   // unbounded number of clusters, clique
+	APN   Class = "APN"   // arbitrary processor network with link contention
+	PARAM Class = "PARAM" // parameterized component combination (clique, bounded processors)
 )
 
 // Algorithm is one registered scheduler.
@@ -32,9 +36,10 @@ type Algorithm struct {
 	Name  string
 	Class Class
 
-	runBNP bnp.Scheduler
-	runUNC unc.Scheduler
-	runAPN apn.Scheduler
+	runBNP   bnp.Scheduler
+	runUNC   unc.Scheduler
+	runAPN   apn.Scheduler
+	runParam func(*dag.Graph, int, []float64) (*sched.Schedule, error)
 }
 
 // Result is one measured scheduling run.
@@ -49,8 +54,20 @@ type Result struct {
 
 // Run schedules g with the algorithm and measures the run. BNP
 // algorithms receive bnpProcs processors; APN algorithms receive the
-// topology; UNC algorithms need no machine argument.
+// topology; UNC algorithms need no machine argument. The machine is
+// homogeneous; use RunOn for heterogeneous processor speeds.
 func (a Algorithm) Run(g *dag.Graph, bnpProcs int, topo *machine.Topology) (Result, error) {
+	return a.RunOn(g, bnpProcs, nil, topo)
+}
+
+// RunOn schedules g with the algorithm on a machine with the given
+// per-processor speed vector and measures the run. A nil speeds vector
+// selects the homogeneous model and reproduces Run exactly. For BNP and
+// PARAM algorithms speeds must have bnpProcs entries; for APN
+// algorithms it must match the topology's processor count; UNC
+// algorithms choose their own processor count (up to one per node), so
+// speeds must cover g.NumNodes() processors.
+func (a Algorithm) RunOn(g *dag.Graph, bnpProcs int, speeds []float64, topo *machine.Topology) (Result, error) {
 	start := time.Now()
 	var (
 		length int64
@@ -59,7 +76,15 @@ func (a Algorithm) Run(g *dag.Graph, bnpProcs int, topo *machine.Topology) (Resu
 	)
 	switch a.Class {
 	case BNP:
-		s, err := a.runBNP(g, bnpProcs)
+		var (
+			s   *sched.Schedule
+			err error
+		)
+		if speeds == nil {
+			s, err = a.runBNP(g, bnpProcs)
+		} else {
+			s, err = bnp.ScheduleHet(a.Name, g, bnpProcs, speeds)
+		}
 		if err != nil {
 			return Result{}, err
 		}
@@ -67,8 +92,23 @@ func (a Algorithm) Run(g *dag.Graph, bnpProcs int, topo *machine.Topology) (Resu
 		// The schedule is measured and discarded; recycling it lets the
 		// next cell on this worker run without allocating one.
 		s.Release()
+	case PARAM:
+		s, err := a.runParam(g, bnpProcs, speeds)
+		if err != nil {
+			return Result{}, err
+		}
+		length, nsl, procs = s.Makespan(), s.NSL(), s.ProcessorsUsed()
+		s.Release()
 	case UNC:
-		s, err := a.runUNC(g)
+		var (
+			s   *sched.Schedule
+			err error
+		)
+		if speeds == nil {
+			s, err = a.runUNC(g)
+		} else {
+			s, err = unc.ScheduleHet(a.Name, g, speeds)
+		}
 		if err != nil {
 			return Result{}, err
 		}
@@ -78,7 +118,15 @@ func (a Algorithm) Run(g *dag.Graph, bnpProcs int, topo *machine.Topology) (Resu
 		if topo == nil {
 			return Result{}, fmt.Errorf("core: APN algorithm %s needs a topology", a.Name)
 		}
-		s, err := a.runAPN(g, topo)
+		var (
+			s   *machine.Schedule
+			err error
+		)
+		if speeds == nil {
+			s, err = a.runAPN(g, topo)
+		} else {
+			s, err = apn.ScheduleHet(a.Name, g, topo, speeds)
+		}
 		if err != nil {
 			return Result{}, err
 		}
@@ -136,6 +184,26 @@ func ByClass(c Class) []Algorithm {
 		}
 	}
 	return nil
+}
+
+// ParamAlgorithm wraps one component combination of the parameterized
+// scheduler space (internal/algo/param) as a registry Algorithm of
+// class PARAM, named by its canonical combo name. It runs on bnpProcs
+// processors, homogeneous or heterogeneous, like a BNP algorithm.
+func ParamAlgorithm(c param.Combo) Algorithm {
+	return Algorithm{Name: c.Name(), Class: PARAM, runParam: c.Schedule}
+}
+
+// Parameterized returns the full component cross-product of the
+// parameterized scheduler space (currently 60 combinations) as
+// Algorithms, in the fixed order of param.Combos.
+func Parameterized() []Algorithm {
+	combos := param.Combos()
+	out := make([]Algorithm, len(combos))
+	for i, c := range combos {
+		out[i] = ParamAlgorithm(c)
+	}
+	return out
 }
 
 // Names returns the algorithm names of a class in canonical order.

@@ -66,6 +66,7 @@ func Experiments() []Experiment {
 		{"tdb", "Extension (paper section 4): task duplication (DSH) vs non-duplication", TDB},
 		{"genx", "Extension (Canon et al. 2019): cross-generator ranking stability of the BNP algorithms", GenX},
 		{"robust", "Extension (Beránek et al.): Monte-Carlo execution robustness under perturbed durations and link contention", Robust},
+		{"components", "Extension (Coleman et al. 2024): component attribution over the parameterized scheduler space, homogeneous and heterogeneous", Components},
 	}
 }
 
@@ -133,8 +134,14 @@ func choleskyDims(s Scale) []int {
 // runCell plans one measured scheduling run, wrapping errors with the
 // experiment and instance context.
 func runCell(p *plan[Result], exp string, a Algorithm, ng gen.NamedGraph, bnpProcs int, topo *machine.Topology) {
+	runCellOn(p, exp, a, ng, bnpProcs, nil, topo)
+}
+
+// runCellOn is runCell with an optional per-processor speed vector
+// (nil for the homogeneous machine).
+func runCellOn(p *plan[Result], exp string, a Algorithm, ng gen.NamedGraph, bnpProcs int, speeds []float64, topo *machine.Topology) {
 	p.add(func() (Result, error) {
-		res, err := a.Run(ng.G, bnpProcs, topo)
+		res, err := a.RunOn(ng.G, bnpProcs, speeds, topo)
 		if err != nil {
 			return Result{}, fmt.Errorf("%s: %s on %s: %w", exp, a.Name, ng.Name, err)
 		}

@@ -16,6 +16,15 @@ import (
 // Migration-style algorithms (BSA) use this to re-derive a consistent
 // task-and-message schedule after moving nodes between processors.
 func ReplaySequences(g *dag.Graph, topo *Topology, seqs [][]dag.NodeID) (*Schedule, error) {
+	return ReplaySequencesHet(g, topo, seqs, nil)
+}
+
+// ReplaySequencesHet is ReplaySequences on heterogeneous processors:
+// the optional speed vector (one positive factor per processor, nil for
+// uniform) is applied to the schedule before any placement, so both the
+// earliest-start selection and the committed execution times are
+// speed-aware.
+func ReplaySequencesHet(g *dag.Graph, topo *Topology, seqs [][]dag.NodeID, speeds []float64) (*Schedule, error) {
 	if len(seqs) != topo.NumProcs() {
 		return nil, fmt.Errorf("machine: %d sequences for %d processors", len(seqs), topo.NumProcs())
 	}
@@ -38,6 +47,11 @@ func ReplaySequences(g *dag.Graph, topo *Topology, seqs [][]dag.NodeID) (*Schedu
 	}
 
 	s := NewSchedule(g, topo)
+	if speeds != nil {
+		if err := s.SetSpeeds(speeds); err != nil {
+			return nil, err
+		}
+	}
 	idx := make([]int, len(seqs))
 	for s.Placed() < g.NumNodes() {
 		bestProc := -1

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/dag"
@@ -42,6 +43,12 @@ type Schedule struct {
 	placed int
 	maxFin int64 // cached makespan: max task finish over all processors
 
+	// speed optionally makes the processors heterogeneous, exactly as in
+	// sched.Schedule: node n on processor p runs for
+	// ceil(Weight(n)/speed[p]) time units; nil means uniform unit speed.
+	// Link transfer costs are unaffected.
+	speed []float64
+
 	// Query scratch, reused across planInbound calls so the hot
 	// ready×processor EST scans of the APN schedulers allocate nothing.
 	// A plan's hop slices point into qHops and stay readable until the
@@ -70,6 +77,41 @@ func NewSchedule(g *dag.Graph, topo *Topology) *Schedule {
 		s.proc[i] = -1
 	}
 	return s
+}
+
+// SetSpeeds makes the processors heterogeneous: node n on processor p
+// executes for ceil(Weight(n)/speeds[p]) time units. It must be called
+// on an empty schedule, with one positive factor per processor; the
+// vector is copied. A uniform all-ones vector reproduces the
+// homogeneous model exactly.
+func (s *Schedule) SetSpeeds(speeds []float64) error {
+	if s.placed != 0 {
+		return fmt.Errorf("machine: SetSpeeds on a schedule with %d placed tasks", s.placed)
+	}
+	if len(speeds) != s.NumProcs() {
+		return fmt.Errorf("machine: %d speed factors for %d processors", len(speeds), s.NumProcs())
+	}
+	for p, sp := range speeds {
+		if !(sp > 0) || math.IsInf(sp, 1) {
+			return fmt.Errorf("machine: speed factor %g for processor %d must be positive and finite", sp, p)
+		}
+	}
+	s.speed = append(s.speed[:0], speeds...)
+	return nil
+}
+
+// Speeds returns the per-processor speed vector, or nil for uniform unit
+// speeds. The slice is shared with the schedule and must not be modified.
+func (s *Schedule) Speeds() []float64 { return s.speed }
+
+// ExecTime returns the execution time of node n on processor p:
+// ceil(Weight(n)/speed[p]), or exactly the weight under uniform speeds.
+func (s *Schedule) ExecTime(n dag.NodeID, p int) int64 {
+	w := s.g.Weight(n)
+	if s.speed == nil {
+		return w
+	}
+	return int64(math.Ceil(float64(w) / s.speed[p]))
 }
 
 // Graph returns the task graph being scheduled.
@@ -290,7 +332,7 @@ func (s *Schedule) ESTOn(n dag.NodeID, p int, insertion bool) (int64, bool) {
 	if !ok {
 		return 0, false
 	}
-	return s.procs[p].EarliestFit(drt, s.g.Weight(n), insertion), true
+	return s.procs[p].EarliestFit(drt, s.ExecTime(n, p), insertion), true
 }
 
 // BestEST returns the processor with the smallest EST for n, ties toward
@@ -329,7 +371,8 @@ func (s *Schedule) Place(n dag.NodeID, p int, start int64) error {
 	if start < drt {
 		return fmt.Errorf("machine: node %d start %d before data-ready %d on P%d", n, start, drt, p)
 	}
-	if err := s.procs[p].Insert(sched.Slot{Node: n, Start: start, Finish: start + s.g.Weight(n)}); err != nil {
+	finish := start + s.ExecTime(n, p)
+	if err := s.procs[p].Insert(sched.Slot{Node: n, Start: start, Finish: finish}); err != nil {
 		return fmt.Errorf("machine: node %d on P%d: %w", n, p, err)
 	}
 	for _, ep := range plan {
@@ -345,7 +388,7 @@ func (s *Schedule) Place(n dag.NodeID, p int, start int64) error {
 	}
 	s.proc[n] = int32(p)
 	s.start[n] = start
-	s.finish[n] = start + s.g.Weight(n)
+	s.finish[n] = finish
 	s.placed++
 	if s.finish[n] > s.maxFin {
 		s.maxFin = s.finish[n]
@@ -440,7 +483,7 @@ func (s *Schedule) Validate() error {
 			return fmt.Errorf("machine: P%d: %w", p, err)
 		}
 		for _, sl := range s.procs[p].Slots() {
-			if sl.Finish-sl.Start != s.g.Weight(sl.Node) {
+			if sl.Finish-sl.Start != s.ExecTime(sl.Node, p) {
 				return fmt.Errorf("machine: node %d duration mismatch", sl.Node)
 			}
 			if s.proc[sl.Node] != int32(p) || s.start[sl.Node] != sl.Start {

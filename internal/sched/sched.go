@@ -17,6 +17,7 @@ package sched
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"repro/internal/dag"
@@ -70,6 +71,12 @@ type Schedule struct {
 	// new finish in, so Makespan is O(1) instead of a scan. Unplace
 	// rebuilds it from lastFin only when the removed task carried it.
 	maxFin int64
+
+	// speed optionally makes the processors heterogeneous (HEFT-style):
+	// node n on processor p executes for ceil(Weight(n)/speed[p]) time
+	// units. Nil means uniform unit speed, where the execution time is
+	// exactly the node weight — the paper's homogeneous model.
+	speed []float64
 }
 
 // New returns an empty schedule for g on numProcs processors.
@@ -131,6 +138,43 @@ func (s *Schedule) Reset(g *dag.Graph, numProcs int) {
 	}
 	s.placed = 0
 	s.maxFin = 0
+	s.speed = nil
+}
+
+// SetSpeeds makes the processors heterogeneous: node n on processor p
+// executes for ceil(Weight(n)/speeds[p]) time units. It must be called
+// on an empty schedule (speeds change every execution time, so placed
+// slots would become inconsistent), with one positive factor per
+// processor. The vector is copied. A uniform all-ones vector reproduces
+// the homogeneous model exactly: ceil(w/1) == w.
+func (s *Schedule) SetSpeeds(speeds []float64) error {
+	if s.placed != 0 {
+		return fmt.Errorf("sched: SetSpeeds on a schedule with %d placed tasks", s.placed)
+	}
+	if len(speeds) != len(s.procs) {
+		return fmt.Errorf("sched: %d speed factors for %d processors", len(speeds), len(s.procs))
+	}
+	for p, sp := range speeds {
+		if !(sp > 0) || math.IsInf(sp, 1) {
+			return fmt.Errorf("sched: speed factor %g for processor %d must be positive and finite", sp, p)
+		}
+	}
+	s.speed = append(s.speed[:0], speeds...)
+	return nil
+}
+
+// Speeds returns the per-processor speed vector, or nil for uniform unit
+// speeds. The slice is shared with the schedule and must not be modified.
+func (s *Schedule) Speeds() []float64 { return s.speed }
+
+// ExecTime returns the execution time of node n on processor p:
+// ceil(Weight(n)/speed[p]), or exactly the weight under uniform speeds.
+func (s *Schedule) ExecTime(n dag.NodeID, p int) int64 {
+	w := s.g.Weight(n)
+	if s.speed == nil {
+		return w
+	}
+	return int64(math.Ceil(float64(w) / s.speed[p]))
 }
 
 // resize returns a slice of length n, reusing s's backing array when it
@@ -210,7 +254,7 @@ func (s *Schedule) Place(n dag.NodeID, p int, start int64) error {
 	if start < 0 {
 		return fmt.Errorf("sched: negative start time %d for node %d", start, n)
 	}
-	finish := start + s.g.Weight(n)
+	finish := start + s.ExecTime(n, p)
 	if err := s.procs[p].Insert(Slot{Node: n, Start: start, Finish: finish}); err != nil {
 		return fmt.Errorf("sched: node %d on P%d: %w", n, p, err)
 	}
@@ -415,7 +459,7 @@ func (s *Schedule) ESTOn(n dag.NodeID, p int, insertion bool) (est int64, ok boo
 		}
 		return drt, true
 	}
-	return s.procs[p].EarliestFit(drt, s.g.Weight(n), insertion), true
+	return s.procs[p].EarliestFit(drt, s.ExecTime(n, p), insertion), true
 }
 
 // BestEST returns the processor giving the smallest EST for n over all
@@ -481,9 +525,9 @@ func (s *Schedule) Validate() error {
 			return fmt.Errorf("sched: P%d: %w", p, err)
 		}
 		for _, sl := range s.procs[p].Slots() {
-			if sl.Finish-sl.Start != s.g.Weight(sl.Node) {
-				return fmt.Errorf("sched: node %d duration %d != weight %d",
-					sl.Node, sl.Finish-sl.Start, s.g.Weight(sl.Node))
+			if sl.Finish-sl.Start != s.ExecTime(sl.Node, p) {
+				return fmt.Errorf("sched: node %d duration %d != execution time %d",
+					sl.Node, sl.Finish-sl.Start, s.ExecTime(sl.Node, p))
 			}
 			if s.proc[sl.Node] != int32(p) || s.start[sl.Node] != sl.Start {
 				return fmt.Errorf("sched: node %d slot disagrees with placement arrays", sl.Node)

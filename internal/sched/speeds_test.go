@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dag"
+)
+
+func speedsTestGraph(t *testing.T) *dag.Graph {
+	t.Helper()
+	b := dag.NewBuilder()
+	n0 := b.AddNode(5)
+	n1 := b.AddNode(7)
+	b.AddEdge(n0, n1, 2)
+	return b.MustBuild()
+}
+
+func TestSetSpeedsRejections(t *testing.T) {
+	g := speedsTestGraph(t)
+	s := New(g, 2)
+	for _, bad := range [][]float64{
+		{1.0},              // wrong length
+		{1.0, 1.0, 1.0},    // wrong length
+		{1.0, 0.0},         // zero
+		{1.0, -1.0},        // negative
+		{1.0, math.Inf(1)}, // infinite
+		{math.NaN(), 1.0},  // NaN
+	} {
+		if err := s.SetSpeeds(bad); err == nil {
+			t.Errorf("SetSpeeds(%v) succeeded, want error", bad)
+		}
+	}
+	if err := s.SetSpeeds([]float64{1.0, 2.0}); err != nil {
+		t.Fatalf("SetSpeeds(valid): %v", err)
+	}
+	// Once anything is placed the machine model is locked in.
+	s.MustPlace(0, 0, 0)
+	if err := s.SetSpeeds([]float64{1.0, 2.0}); err == nil {
+		t.Error("SetSpeeds on a non-empty schedule succeeded, want error")
+	}
+}
+
+func TestSpeedsScaleExecution(t *testing.T) {
+	g := speedsTestGraph(t)
+	s := New(g, 2)
+	if err := s.SetSpeeds([]float64{1.0, 2.0}); err != nil {
+		t.Fatal(err)
+	}
+	// Defensive copy: mutating the caller's vector must not leak in.
+	sp := s.Speeds()
+	if len(sp) != 2 || sp[0] != 1.0 || sp[1] != 2.0 {
+		t.Fatalf("Speeds() = %v", sp)
+	}
+	if got := s.ExecTime(0, 0); got != 5 {
+		t.Errorf("ExecTime(n0, p0) = %d, want 5", got)
+	}
+	if got := s.ExecTime(0, 1); got != 3 { // ceil(5/2)
+		t.Errorf("ExecTime(n0, p1) = %d, want 3", got)
+	}
+	s.MustPlace(0, 1, 0)
+	if f := s.FinishOf(0); f != 3 {
+		t.Errorf("FinishOf(n0) = %d, want 3", f)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// Reset drops the speed vector: the next user of a pooled schedule
+	// must get the homogeneous model back.
+	s.Reset(g, 2)
+	if s.Speeds() != nil {
+		t.Errorf("Speeds() after Reset = %v, want nil", s.Speeds())
+	}
+	if got := s.ExecTime(0, 1); got != 5 {
+		t.Errorf("ExecTime after Reset = %d, want weight 5", got)
+	}
+}

@@ -32,8 +32,10 @@ func CompileAPN(s *machine.Schedule) (*Plan, error) {
 	b.plan.jobs = make([]planJob, 0, n)
 	for v := 0; v < n; v++ {
 		node := dag.NodeID(v)
+		// As in Compile, the base duration comes from the schedule so
+		// heterogeneous execution times replay exactly.
 		b.addJob(planJob{
-			base:    g.Weight(node),
+			base:    s.FinishOf(node) - s.StartOf(node),
 			planned: s.StartOf(node),
 			ent:     taskEnt(node),
 			proc:    int32(s.ProcOf(node)),

@@ -27,8 +27,12 @@ func Compile(s *sched.Schedule) (*Plan, error) {
 	b.plan.jobs = make([]planJob, 0, n)
 	for v := 0; v < n; v++ {
 		node := dag.NodeID(v)
+		// The base duration is read off the schedule, not the graph, so
+		// a heterogeneous schedule (per-processor speeds) replays the
+		// execution times it actually committed; Options.Speed is a
+		// further runtime perturbation on top of these.
 		b.addJob(planJob{
-			base:    g.Weight(node),
+			base:    s.FinishOf(node) - s.StartOf(node),
 			planned: s.StartOf(node),
 			ent:     taskEnt(node),
 			proc:    int32(s.ProcOf(node)),

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/algo/apn"
+	"repro/internal/algo/bnp"
+	"repro/internal/algo/param"
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+// checkCliqueZeroVariance compiles a complete clique schedule and
+// checks the zero-variance anchor: timetable dispatch reproduces the
+// static makespan exactly, eager never exceeds it.
+func checkCliqueZeroVariance(t *testing.T, name, fam string, s *sched.Schedule) {
+	t.Helper()
+	plan, err := Compile(s)
+	if err != nil {
+		t.Fatalf("compile %s on %s: %v", name, fam, err)
+	}
+	mk, err := plan.Run(Options{Policy: PolicyTimetable}, 0)
+	if err != nil {
+		t.Fatalf("%s on %s: %v", name, fam, err)
+	}
+	if mk != s.Makespan() {
+		t.Errorf("%s on %s: timetable zero-variance makespan %d != static %d", name, fam, mk, s.Makespan())
+	}
+	mk, err = plan.Run(Options{Policy: PolicyEager}, 0)
+	if err != nil {
+		t.Fatalf("%s eager on %s: %v", name, fam, err)
+	}
+	if mk > s.Makespan() {
+		t.Errorf("%s on %s: eager zero-variance makespan %d > static %d", name, fam, mk, s.Makespan())
+	}
+}
+
+// TestZeroVarianceReproducesStaticHeterogeneous extends the anchor
+// invariant to heterogeneous schedules: the compiled plan reads task
+// durations off the schedule (finish − start), so per-processor speed
+// vectors replay exactly.
+func TestZeroVarianceReproducesStaticHeterogeneous(t *testing.T) {
+	speeds := []float64{1.0, 2.5, 4.0, 1.0, 3.0, 2.0, 1.5, 4.0}
+	for _, inst := range invariantInstances(t) {
+		// One classic kernel and one combination only expressible in the
+		// parameterized space (EFT + insertion, the HEFT-style pairing).
+		s, err := bnp.ScheduleHet("MCP", inst.G, len(speeds), speeds)
+		if err != nil {
+			t.Fatalf("MCP het on %s: %v", inst.Name, err)
+		}
+		checkCliqueZeroVariance(t, "MCP-het", inst.Name, s)
+		s.Release()
+
+		combo := param.Combo{Metric: param.MetricBT, Rule: param.RuleEFT, Slot: param.SlotInsertion, Regime: param.RegimeDynamic}
+		ps, err := combo.Schedule(inst.G, len(speeds), speeds)
+		if err != nil {
+			t.Fatalf("%s het on %s: %v", combo.Name(), inst.Name, err)
+		}
+		checkCliqueZeroVariance(t, combo.Name()+"-het", inst.Name, ps)
+		ps.Release()
+	}
+}
+
+// TestZeroVarianceAPNHeterogeneous runs the same invariant for a
+// heterogeneous APN schedule with link contention.
+func TestZeroVarianceAPNHeterogeneous(t *testing.T) {
+	topo := machine.Hypercube(3)
+	speeds := []float64{1.0, 2.0, 4.0, 1.0, 2.0, 4.0, 1.0, 2.0}
+	for _, inst := range invariantInstances(t) {
+		s, err := apn.ScheduleHet("MH", inst.G, topo, speeds)
+		if err != nil {
+			t.Fatalf("MH het on %s: %v", inst.Name, err)
+		}
+		plan, err := CompileAPN(s)
+		if err != nil {
+			t.Fatalf("compile MH het on %s: %v", inst.Name, err)
+		}
+		mk, err := plan.Run(Options{Policy: PolicyTimetable}, 0)
+		if err != nil {
+			t.Fatalf("MH het on %s: %v", inst.Name, err)
+		}
+		if mk != s.Makespan() {
+			t.Errorf("MH het on %s: timetable zero-variance makespan %d != static %d", inst.Name, mk, s.Makespan())
+		}
+		mk, err = plan.Run(Options{Policy: PolicyEager}, 0)
+		if err != nil {
+			t.Fatalf("MH het eager on %s: %v", inst.Name, err)
+		}
+		if mk > s.Makespan() {
+			t.Errorf("MH het on %s: eager zero-variance makespan %d > static %d", inst.Name, mk, s.Makespan())
+		}
+	}
+}

@@ -20,7 +20,7 @@
 set -eu -o pipefail
 cd "$(dirname "$0")/.."
 
-bench='BenchmarkTable6RunningTimes|BenchmarkAlgorithm/|BenchmarkSimMonteCarlo'
+bench='BenchmarkTable6RunningTimes|BenchmarkAlgorithm/|BenchmarkSimMonteCarlo|BenchmarkComponents'
 benchtime=2x
 count=3
 out=""

@@ -36,6 +36,7 @@ import (
 	"repro/internal/algo/apn"
 	"repro/internal/algo/bnp"
 	"repro/internal/algo/cs"
+	"repro/internal/algo/param"
 	"repro/internal/algo/tdb"
 	"repro/internal/algo/unc"
 	"repro/internal/core"
@@ -139,14 +140,16 @@ func NewTopology(n int, links [][2]int) (*Topology, error) {
 	return machine.NewTopology(n, links)
 }
 
-// Class identifies an algorithm family (BNP, UNC, or APN).
+// Class identifies an algorithm family (BNP, UNC, APN, or PARAM).
 type Class = core.Class
 
-// The three algorithm classes of the paper's taxonomy.
+// The three algorithm classes of the paper's taxonomy, plus the
+// parameterized component combinations of the extension.
 const (
-	BNP = core.BNP
-	UNC = core.UNC
-	APN = core.APN
+	BNP   = core.BNP
+	UNC   = core.UNC
+	APN   = core.APN
+	PARAM = core.PARAM
 )
 
 // AlgorithmNames returns the algorithm names of a class in the paper's
@@ -181,6 +184,90 @@ func ScheduleAPN(name string, g *Graph, topo *Topology) (*APNSchedule, error) {
 		return nil, fmt.Errorf("taskgraph: unknown APN algorithm %q (have %v)", name, core.Names(APN))
 	}
 	return algo(g, topo)
+}
+
+// Heterogeneous machines (extension): every scheduling entry point has
+// a *Het variant taking a per-processor speed vector; a processor with
+// speed f executes a task of weight w in ceil(w/f) time units. A nil
+// vector is the homogeneous model; uniform (all-ones) speeds reproduce
+// the homogeneous timelines byte-identically.
+
+// ScheduleBNPHet is ScheduleBNP on numProcs processors with the given
+// speeds (len(speeds) must equal numProcs).
+func ScheduleBNPHet(name string, g *Graph, numProcs int, speeds []float64) (*Schedule, error) {
+	return bnp.ScheduleHet(name, g, numProcs, speeds)
+}
+
+// ScheduleUNCHet is ScheduleUNC with per-processor speeds. UNC
+// algorithms choose their own processor count (up to one per node), so
+// speeds must cover g.NumNodes() processors.
+func ScheduleUNCHet(name string, g *Graph, speeds []float64) (*Schedule, error) {
+	return unc.ScheduleHet(name, g, speeds)
+}
+
+// ScheduleAPNHet is ScheduleAPN with per-processor speeds
+// (len(speeds) must equal the topology's processor count).
+func ScheduleAPNHet(name string, g *Graph, topo *Topology, speeds []float64) (*APNSchedule, error) {
+	return apn.ScheduleHet(name, g, topo, speeds)
+}
+
+// Parameterized list scheduling (extension, after Coleman et al. 2024):
+// clique-model list scheduling decomposed into orthogonal components —
+// priority metric × processor rule × slot policy × priority regime —
+// where every combination is a scheduler. HLFET, MCP, ETF, and DLS are
+// registered points of the space, byte-identical to their kernels.
+
+// Combo is one point of the component space: a complete list scheduler.
+type Combo = param.Combo
+
+// The component axis types of the parameterized scheduler space.
+type (
+	// ComboMetric is the node-priority component.
+	ComboMetric = param.Metric
+	// ComboRule is the processor-selection component.
+	ComboRule = param.Rule
+	// ComboSlot is the slot-policy component.
+	ComboSlot = param.Slot
+	// ComboRegime is the priority-regime component.
+	ComboRegime = param.Regime
+)
+
+// The component values; see the internal/algo/param package doc for
+// the taxonomy.
+const (
+	MetricSL         = param.MetricSL         // static level, descending (HLFET)
+	MetricTL         = param.MetricTL         // t-level, ascending
+	MetricBT         = param.MetricBT         // t-level + b-level, descending
+	MetricALAP       = param.MetricALAP       // ALAP-list order (MCP)
+	MetricDL         = param.MetricDL         // dynamic level (DLS)
+	RuleEST          = param.RuleEST          // earliest start time
+	RuleEFT          = param.RuleEFT          // earliest finish time (HEFT-style)
+	RuleDL           = param.RuleDL           // Sih & Lee's dynamic-level rule
+	SlotNonInsertion = param.SlotNonInsertion // append after the last task
+	SlotInsertion    = param.SlotInsertion    // fill idle gaps
+	RegimeStatic     = param.RegimeStatic     // fixed priority list
+	RegimeDynamic    = param.RegimeDynamic    // re-score ready nodes each step
+)
+
+// Combos returns the full component cross-product (60 schedulers) in a
+// fixed deterministic order.
+func Combos() []Combo { return param.Combos() }
+
+// ParseCombo parses a canonical combo name like "alap/est/ins/st".
+func ParseCombo(s string) (Combo, error) { return param.ParseCombo(s) }
+
+// ComboRegistration is one named combo (e.g. "MCP") in the registry.
+type ComboRegistration = param.Registration
+
+// NamedCombos returns the registered classic algorithms expressed as
+// component combinations, sorted by name.
+func NamedCombos() []ComboRegistration { return param.Named() }
+
+// ScheduleCombo runs one component combination on numProcs fully
+// connected processors with an optional per-processor speed vector
+// (nil for the homogeneous model).
+func ScheduleCombo(c Combo, g *Graph, numProcs int, speeds []float64) (*Schedule, error) {
+	return c.Schedule(g, numProcs, speeds)
 }
 
 // OptimalResult reports an exact branch-and-bound run.
@@ -378,9 +465,18 @@ const (
 	Full = core.Full
 )
 
+// Experiment describes one reproducible artifact: its id, one-line
+// title, and runner.
+type Experiment = core.Experiment
+
+// Experiments returns every registered experiment in paper order: the
+// paper's tables and figures, then the extension studies.
+func Experiments() []Experiment { return core.Experiments() }
+
 // ExperimentIDs returns the identifiers of every reproducible artifact:
 // the paper's tables and figures ("table1".."table6", "fig2".."fig4")
-// and the extension studies ("unccs", "tdb", "genx").
+// and the extension studies ("unccs", "tdb", "genx", "robust",
+// "components").
 func ExperimentIDs() []string {
 	var ids []string
 	for _, e := range core.Experiments() {

@@ -176,16 +176,17 @@ func TestGeneratorRegistryFacade(t *testing.T) {
 
 func TestExperimentIDsFacade(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 13 {
-		t.Fatalf("ExperimentIDs = %v, want 13 entries", ids)
+	if len(ids) != 14 {
+		t.Fatalf("ExperimentIDs = %v, want 14 entries", ids)
 	}
-	haveGenx, haveRobust := false, false
+	haveGenx, haveRobust, haveComponents := false, false, false
 	for _, id := range ids {
 		haveGenx = haveGenx || id == "genx"
 		haveRobust = haveRobust || id == "robust"
+		haveComponents = haveComponents || id == "components"
 	}
-	if !haveGenx || !haveRobust {
-		t.Errorf("ExperimentIDs missing genx or robust: %v", ids)
+	if !haveGenx || !haveRobust || !haveComponents {
+		t.Errorf("ExperimentIDs missing genx, robust, or components: %v", ids)
 	}
 	var sink bytes.Buffer
 	if err := RunExperiment("table1", ExperimentConfig{Seed: 1, Scale: Quick, Out: &sink}); err != nil {
