@@ -63,6 +63,27 @@ func BenchmarkRobustExperiment(b *testing.B) { benchExperiment(b, "robust") }
 // part of the tracked benchmark trajectory (scripts/bench.sh).
 func BenchmarkComponents(b *testing.B) { benchExperiment(b, "components") }
 
+// BenchmarkAdversarialGeneration measures one generation of the
+// adversarial instance search: building a 16-candidate population and
+// scheduling it with the default MCP:LAST pair through the experiment
+// pool. This is the per-generation kernel behind -exp adversarial and
+// part of the tracked benchmark trajectory (scripts/bench.sh).
+func BenchmarkAdversarialGeneration(b *testing.B) {
+	cfg := core.Config{Seed: 1998, Scale: core.Quick, Out: io.Discard, Cache: core.NewSuiteCache()}
+	opts := AdversarialDefaults(1998)
+	opts.Generations = 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := AdversarialSearch(cfg, opts, "MCP", "LAST")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(rep.Top) > 0 {
+			b.ReportMetric(rep.Top[0].Score, "best-gap")
+		}
+	}
+}
+
 // BenchmarkSimMonteCarlo measures the execution simulator's
 // steady-state Monte-Carlo loop — schedule once, compile once, then
 // 100 perturbed discrete-event executions of a 100-node MCP schedule.

@@ -4,17 +4,28 @@
 // Usage:
 //
 //	dagbench [-exp id[,id...]] [-scale quick|full] [-seed N] [-workers N]
+//	         [-pair A:B] [-archive dir]
 //
 // Experiment ids are table1..table6, fig2..fig4, the extension studies
 // unccs, tdb, genx (the Canon et al. 2019 cross-generator ranking
 // stability study), robust (the Monte-Carlo execution-robustness
-// study on the internal/sim simulator), and components (the component
+// study on the internal/sim simulator), components (the component
 // attribution of the parameterized scheduler space on homogeneous and
-// heterogeneous machines), or all (the default); a comma-separated
-// list runs several in order, e.g. -exp=table2,table3,genx. Unknown
-// ids fail fast, before anything runs, with the sorted list of valid
-// names. -exp=list (or help) prints the registry, one id and title
-// per line, sorted by id, and exits.
+// heterogeneous machines), and adversarial (the PISA-style
+// evolutionary search for counterexample instances), or all (the
+// default); a comma-separated list runs several in order, e.g.
+// -exp=table2,table3,genx. Unknown ids fail fast, before anything
+// runs, with the sorted list of valid names. -exp=list (or help)
+// prints the registry, one id and title per line, sorted by id, and
+// exits.
+//
+// -pair selects the algorithm pair "A:B" the adversarial experiment
+// compares (default MCP:LAST); the search hunts instances on which B
+// beats A. Names are the registry names, class-qualified where
+// ambiguous (APN/DLS), or parameterized combo names (alap/eft/ins/st).
+// An unknown name fails fast with the sorted list of valid ones.
+// -archive names a directory the adversarial experiment writes its
+// found counterexamples into, as .tg fixtures with provenance headers.
 //
 // With -scale=quick (the default) each experiment runs a reduced
 // workload in seconds; -scale=full reproduces the paper's instance
@@ -58,10 +69,12 @@ func main() {
 // run returns the process exit code; it is named so the -memprofile
 // defer can fail the run after the experiments succeed.
 func run() (code int) {
-	exp := flag.String("exp", "all", "experiment id or comma-separated list (table1..table6, fig2..fig4, unccs, tdb, genx, robust, or all)")
+	exp := flag.String("exp", "all", "experiment id or comma-separated list (table1..table6, fig2..fig4, unccs, tdb, genx, robust, components, adversarial, or all)")
 	scale := flag.String("scale", "quick", "workload scale: quick or full")
 	seed := flag.Int64("seed", 1998, "random seed for the benchmark suites")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent scheduling cells (<= 0: GOMAXPROCS)")
+	pair := flag.String("pair", "", "algorithm pair \"A:B\" for the adversarial experiment (default MCP:LAST)")
+	archive := flag.String("archive", "", "directory the adversarial experiment archives counterexample fixtures into")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the experiment runs to this file")
 	flag.Parse()
@@ -96,13 +109,24 @@ func run() (code int) {
 		}()
 	}
 
+	// Validate the adversarial pair before anything runs, so a typo
+	// fails fast with the sorted algorithm menu.
+	if *pair != "" {
+		if _, _, err := taskgraph.ParseAlgorithmPair(*pair); err != nil {
+			fmt.Fprintf(os.Stderr, "dagbench: -pair: %v\n", err)
+			return 2
+		}
+	}
+
 	cfg := taskgraph.ExperimentConfig{
 		Seed:    *seed,
 		Out:     os.Stdout,
 		Workers: *workers,
 		// One cache per run: suites and RGBOS optima are shared by
 		// every experiment below.
-		Cache: taskgraph.NewSuiteCache(),
+		Cache:              taskgraph.NewSuiteCache(),
+		AdversarialPair:    *pair,
+		AdversarialArchive: *archive,
 	}
 	switch *scale {
 	case "quick":

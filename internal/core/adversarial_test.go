@@ -1,0 +1,83 @@
+package core
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/adversarial"
+)
+
+// TestAlgorithmByName pins the pair-name resolution rules: plain
+// registry names (DLS resolving to its BNP variant), class-qualified
+// names, parameterized combo names, and fail-fast errors carrying the
+// sorted menu.
+func TestAlgorithmByName(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		class Class
+		name  string
+	}{
+		{"MCP", BNP, "MCP"},
+		{"DSC", UNC, "DSC"},
+		{"BSA", APN, "BSA"},
+		{"DLS", BNP, "DLS"}, // ambiguous name: BNP listed first wins
+		{"BNP/DLS", BNP, "DLS"},
+		{"APN/DLS", APN, "DLS"},
+		{"alap/est/ins/st", PARAM, "alap/est/ins/st"},
+	} {
+		a, err := AlgorithmByName(tc.in)
+		if err != nil {
+			t.Errorf("AlgorithmByName(%q): %v", tc.in, err)
+			continue
+		}
+		if a.Class != tc.class || a.Name != tc.name {
+			t.Errorf("AlgorithmByName(%q) = %s/%s, want %s/%s", tc.in, a.Class, a.Name, tc.class, tc.name)
+		}
+	}
+	for _, bad := range []string{"NOPE", "APN/MCP", "UNC/nope", "alap/est/ins/xx", ""} {
+		if _, err := AlgorithmByName(bad); err == nil {
+			t.Errorf("AlgorithmByName(%q) accepted", bad)
+		}
+	}
+	if _, err := AlgorithmByName("NOPE"); err == nil || !strings.Contains(err.Error(), "MCP") {
+		t.Errorf("unknown-name error does not list the valid names: %v", err)
+	}
+}
+
+// TestParseAlgorithmPair pins the "A:B" pair syntax and its fail-fast
+// validation.
+func TestParseAlgorithmPair(t *testing.T) {
+	a, b, err := ParseAlgorithmPair("MCP:APN/DLS")
+	if err != nil || a != "MCP" || b != "APN/DLS" {
+		t.Errorf("ParseAlgorithmPair(MCP:APN/DLS) = %q, %q, %v", a, b, err)
+	}
+	for _, bad := range []string{"MCP", "MCP:", ":LAST", "MCP:NOPE", "NOPE:LAST", ""} {
+		if _, _, err := ParseAlgorithmPair(bad); err == nil {
+			t.Errorf("ParseAlgorithmPair(%q) accepted", bad)
+		}
+	}
+}
+
+// TestAdversarialSearchWiring runs a tiny search through the real
+// evaluator and checks the report is labeled and populated; invalid
+// pairs fail before any evaluation.
+func TestAdversarialSearchWiring(t *testing.T) {
+	cfg := Config{Seed: 7, Scale: Quick, Out: io.Discard, Workers: 4}
+	opts := adversarial.Defaults(7)
+	opts.Generations = 2
+	opts.Population = 6
+	rep, err := AdversarialSearch(cfg, opts, "MCP", "LAST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AlgA != "MCP" || rep.AlgB != "LAST" {
+		t.Errorf("report pair = %s:%s", rep.AlgA, rep.AlgB)
+	}
+	if len(rep.Trace) != 2 || len(rep.Top) == 0 {
+		t.Errorf("report shape: %d trace entries, %d top", len(rep.Trace), len(rep.Top))
+	}
+	if _, err := AdversarialSearch(cfg, opts, "MCP", "NOPE"); err == nil {
+		t.Error("unknown algB accepted")
+	}
+}

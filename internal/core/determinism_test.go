@@ -39,7 +39,7 @@ func runForOutput(t *testing.T, id string, workers int, cache *SuiteCache) strin
 // seconds are not.)
 func TestExperimentsDeterministic(t *testing.T) {
 	cache := NewSuiteCache()
-	cheap := map[string]bool{"table1": true, "table4": true, "table5": true, "fig4": true, "tdb": true, "genx": true, "robust": true, "components": true}
+	cheap := map[string]bool{"table1": true, "table4": true, "table5": true, "fig4": true, "tdb": true, "genx": true, "robust": true, "components": true, "adversarial": true}
 	// The branch-and-bound and full-suite sweeps dominate the package's
 	// test time; under -short (e.g. the -race CI job) only the cheap
 	// experiments run.

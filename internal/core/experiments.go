@@ -37,6 +37,17 @@ type Config struct {
 	// runs with the same (seed, scale); nil selects a process-wide
 	// cache.
 	Cache *SuiteCache
+
+	// AdversarialPair selects the algorithm pair "A:B" the adversarial
+	// experiment compares — the search hunts instances on which B beats
+	// A. Empty selects "MCP:LAST". See AlgorithmByName for the accepted
+	// name forms.
+	AdversarialPair string
+
+	// AdversarialArchive, when non-empty, is a directory the
+	// adversarial experiment writes its top counterexample fixtures
+	// into (.tg files with provenance headers).
+	AdversarialArchive string
 }
 
 // runner returns the worker pool for this run.
@@ -67,6 +78,7 @@ func Experiments() []Experiment {
 		{"genx", "Extension (Canon et al. 2019): cross-generator ranking stability of the BNP algorithms", GenX},
 		{"robust", "Extension (Beránek et al.): Monte-Carlo execution robustness under perturbed durations and link contention", Robust},
 		{"components", "Extension (Coleman et al. 2024): component attribution over the parameterized scheduler space, homogeneous and heterogeneous", Components},
+		{"adversarial", "Extension (PISA): adversarial evolutionary search for instances where one algorithm beats another", Adversarial},
 	}
 }
 

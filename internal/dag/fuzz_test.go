@@ -1,0 +1,50 @@
+package dag
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTGRoundTrip feeds arbitrary bytes to the .tg text-format parser.
+// Malformed input must produce an error, never a panic; input the
+// parser accepts must serialize and re-parse to a byte-identical
+// canonical form (WriteText is the canonicalizer: node IDs renumbered
+// in insertion order, edges in CSR order), and every accepted graph
+// must satisfy the structural DAG invariants.
+func FuzzTGRoundTrip(f *testing.F) {
+	f.Add([]byte("nodes 2\nnode 0 5\nnode 1 3\nedge 0 1 2\n"))
+	f.Add([]byte("node 0 1 entry\nnode 7 2 exit\nedge 0 7 4\n"))
+	f.Add([]byte("# comment\n\nnodes 1\nnode 3 0\n"))
+	f.Add([]byte("nodes 0\n"))
+	f.Add([]byte("edge 0 1 2\n"))
+	f.Add([]byte("node 0 -1\n"))
+	f.Add([]byte("nodes 9999999999999999999\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadText(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting malformed input is the expected path
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v\ninput: %q", err, data)
+		}
+		var first bytes.Buffer
+		if err := WriteText(&first, g); err != nil {
+			t.Fatalf("serializing accepted graph: %v", err)
+		}
+		g2, err := ReadText(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parsing serialized graph: %v\nserialized: %q", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := WriteText(&second, g2); err != nil {
+			t.Fatalf("re-serializing graph: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("round trip is not a fixed point:\nfirst:  %q\nsecond: %q", first.Bytes(), second.Bytes())
+		}
+		if g.NumNodes() != g2.NumNodes() || g.NumEdges() != g2.NumEdges() {
+			t.Fatalf("round trip changed size: %d/%d nodes, %d/%d edges",
+				g.NumNodes(), g2.NumNodes(), g.NumEdges(), g2.NumEdges())
+		}
+	})
+}

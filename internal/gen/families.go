@@ -26,10 +26,10 @@ func init() {
 		Source: "Tobita & Kasahara (2002), as surveyed by Canon et al. (2019)",
 		Random: true,
 		Params: []ParamSpec{
-			{Name: "v", Kind: IntParam, Default: "50", Doc: "node count"},
+			{Name: "v", Kind: IntParam, Default: "50", Min: "1", Max: "1000000", Doc: "node count"},
 			ccrParam(),
-			{Name: "layers", Kind: IntParam, Default: "0", Doc: "layer count (0 selects round(sqrt(v)))"},
-			{Name: "p", Kind: FloatParam, Default: "0.25", Doc: "edge probability between consecutive layers"},
+			{Name: "layers", Kind: IntParam, Default: "0", Min: "0", Max: "10000", Doc: "layer count (0 selects round(sqrt(v)))"},
+			{Name: "p", Kind: FloatParam, Default: "0.25", Min: "0", Max: "1", Doc: "edge probability between consecutive layers"},
 			{Name: "connect", Kind: BoolParam, Default: "true", Doc: "link weakly connected components into one"},
 		},
 		Fn: func(seed int64, p Resolved) (*dag.Graph, error) {
@@ -43,9 +43,9 @@ func init() {
 		Source: "Erdős & Rényi (1959) DAG variant, as surveyed by Canon et al. (2019)",
 		Random: true,
 		Params: []ParamSpec{
-			{Name: "v", Kind: IntParam, Default: "50", Doc: "node count"},
+			{Name: "v", Kind: IntParam, Default: "50", Min: "1", Max: "1000000", Doc: "node count"},
 			ccrParam(),
-			{Name: "p", Kind: FloatParam, Default: "0.1", Doc: "edge probability per forward node pair"},
+			{Name: "p", Kind: FloatParam, Default: "0.1", Min: "0", Max: "1", Doc: "edge probability per forward node pair"},
 			{Name: "connect", Kind: BoolParam, Default: "true", Doc: "link weakly connected components into one"},
 		},
 		Fn: func(seed int64, p Resolved) (*dag.Graph, error) {
@@ -59,10 +59,10 @@ func init() {
 		Source: "Dick, Rhodes & Wolf (TGFF, 1998), as surveyed by Canon et al. (2019)",
 		Random: true,
 		Params: []ParamSpec{
-			{Name: "v", Kind: IntParam, Default: "50", Doc: "node count"},
+			{Name: "v", Kind: IntParam, Default: "50", Min: "1", Max: "1000000", Doc: "node count"},
 			ccrParam(),
-			{Name: "maxout", Kind: IntParam, Default: "3", Doc: "maximum children added per fan-out step"},
-			{Name: "maxin", Kind: IntParam, Default: "3", Doc: "maximum parents joined per fan-in step"},
+			{Name: "maxout", Kind: IntParam, Default: "3", Min: "1", Max: "100", Doc: "maximum children added per fan-out step"},
+			{Name: "maxin", Kind: IntParam, Default: "3", Min: "1", Max: "100", Doc: "maximum parents joined per fan-in step"},
 		},
 		Fn: func(seed int64, p Resolved) (*dag.Graph, error) {
 			rng := rand.New(rand.NewSource(seed))

@@ -1,0 +1,115 @@
+package gen
+
+import (
+	"math"
+	"strconv"
+	"testing"
+)
+
+// fuzzParamsFor derives an in-schema parameter set for g from raw fuzz
+// inputs: every declared parameter gets a value clamped into its
+// declared bounds (open sides use small finite caps so fuzzing stays
+// fast — large-instance behavior is the scaling benchmarks' job, not
+// the fuzzer's).
+func fuzzParamsFor(g Generator, i1, i2 int64, f1, f2 float64, flip bool) Params {
+	// fuzzCap bounds unb- or wide-bounded int parameters so a single
+	// fuzz execution never builds a huge graph.
+	const fuzzCap = 48
+	p := Params{}
+	ints := [2]int64{i1, i2}
+	floats := [2]float64{f1, f2}
+	ii, fi := 0, 0
+	for _, ps := range g.Params {
+		switch ps.Kind {
+		case IntParam:
+			lo, hi := intBounds(ps)
+			if hi > fuzzCap {
+				hi = fuzzCap
+			}
+			if hi < lo {
+				hi = lo
+			}
+			raw := ints[ii%2]
+			ii++
+			span := uint64(hi-lo) + 1
+			// Unsigned conversion handles math.MinInt64, which negation
+			// cannot.
+			p[ps.Name] = strconv.Itoa(lo + int(uint64(raw)%span))
+		case FloatParam:
+			lo, hi := floatBounds(ps)
+			if hi > 100 {
+				hi = 100
+			}
+			if hi < lo {
+				hi = lo
+			}
+			raw := floats[fi%2]
+			fi++
+			p[ps.Name] = FormatFloatParam(foldIntoRange(raw, lo, hi))
+		case BoolParam:
+			if flip {
+				p[ps.Name] = "true"
+			} else {
+				p[ps.Name] = "false"
+			}
+		case StringParam:
+			// The only string parameter in the registry is psg's graph
+			// name; exercise both a valid name and the error path.
+			if flip {
+				p[ps.Name] = "kwok-ahmad-9"
+			}
+		}
+	}
+	return p
+}
+
+// foldIntoRange maps an arbitrary float (including NaN and infinities)
+// into [lo, hi] deterministically.
+func foldIntoRange(x, lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	if x != x { // NaN
+		return lo
+	}
+	if x < 0 {
+		x = -x
+	}
+	span := hi - lo
+	x = math.Mod(x, span)
+	if x != x || x < 0 { // Mod of +Inf is NaN
+		x = 0
+	}
+	return lo + x
+}
+
+// FuzzGenerate feeds arbitrary in-schema parameter sets to every
+// registered family: Generate must never panic, and whenever it
+// succeeds the result must be a structurally valid DAG (consistent
+// adjacency, no cycles, non-negative costs). Errors are legal — some
+// in-schema parameter combinations are still rejected by individual
+// families (an FFT size that is not a power of two, a single-layer
+// layered graph asked to connect) — but they must be errors, not
+// panics.
+func FuzzGenerate(f *testing.F) {
+	f.Add(uint(0), int64(1998), int64(7), int64(13), 1.0, 0.25, true)
+	f.Add(uint(1), int64(1), int64(-3), int64(40), 10.0, 0.9, false)
+	f.Add(uint(2), int64(42), int64(0), int64(0), 0.0, 0.0, true)
+	f.Add(uint(7), int64(2024), int64(99), int64(5), 0.1, 1e30, false)
+	f.Fuzz(func(t *testing.T, fam uint, seed, i1, i2 int64, f1, f2 float64, flip bool) {
+		gens := Generators()
+		g := gens[int(fam)%len(gens)]
+		p := fuzzParamsFor(g, i1, i2, f1, f2, flip)
+		if err := g.ValidateParams(p); err != nil {
+			t.Fatalf("fuzzParamsFor(%s) produced out-of-schema params %v: %v", g.Name, p, err)
+		}
+		graph, err := Generate(g.Name, seed, p)
+		if err != nil {
+			return // in-schema yet family-rejected combinations are fine
+		}
+		if err := graph.Validate(); err != nil {
+			t.Fatalf("%s seed=%d params=%v: generated invalid DAG: %v",
+				g.Name, seed, CanonicalParams(p), err)
+		}
+	})
+}

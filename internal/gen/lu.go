@@ -13,7 +13,7 @@ func init() {
 		Doc:    "traced graph of tiled right-looking LU decomposition on an n x n tile grid",
 		Source: "tiled dense LU without pivoting (cf. PLASMA/DPLASMA task graphs)",
 		Params: []ParamSpec{
-			{Name: "n", Kind: IntParam, Default: "5", Doc: "tile grid dimension (tasks grow as O(n^3))"},
+			{Name: "n", Kind: IntParam, Default: "5", Min: "1", Max: "128", Doc: "tile grid dimension (tasks grow as O(n^3))"},
 			ccrParam(),
 		},
 		Fn: func(seed int64, p Resolved) (*dag.Graph, error) {

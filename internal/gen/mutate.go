@@ -1,0 +1,201 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements schema-driven parameter mutation: given a
+// registered generator and a textual parameter set, MutateParams
+// perturbs one parameter inside the generator's declared ParamSpec
+// bounds. The adversarial instance search (internal/adversarial) is the
+// primary client — it walks a family's parameter space by repeated
+// mutation and relies on every mutant still resolving against the
+// schema — but the helpers are generic: any registered family can be
+// mutated, and ValidateParams reports whether a parameter set is
+// in-schema without generating anything.
+
+// ValidateParams checks p against the generator's parameter schema:
+// unknown names, malformed values, and values outside declared bounds
+// are errors. It is Generate's validation without the generation.
+func (g Generator) ValidateParams(p Params) error {
+	_, err := g.resolve(p)
+	return err
+}
+
+// intBounds returns the spec's declared int range, substituting wide
+// finite defaults for open sides so mutation always has a range to
+// clamp into.
+func intBounds(ps ParamSpec) (lo, hi int) {
+	lo, hi = 0, 1<<20
+	if ps.Min != "" {
+		lo, _ = strconv.Atoi(ps.Min)
+	}
+	if ps.Max != "" {
+		hi, _ = strconv.Atoi(ps.Max)
+	}
+	return lo, hi
+}
+
+// floatBounds is intBounds for float parameters.
+func floatBounds(ps ParamSpec) (lo, hi float64) {
+	lo, hi = 0, 1e6
+	if ps.Min != "" {
+		lo, _ = strconv.ParseFloat(ps.Min, 64)
+	}
+	if ps.Max != "" {
+		hi, _ = strconv.ParseFloat(ps.Max, 64)
+	}
+	return lo, hi
+}
+
+// ClampInt clamps v into the spec's declared bounds (open sides use
+// wide finite defaults).
+func ClampInt(ps ParamSpec, v int) int {
+	lo, hi := intBounds(ps)
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ClampFloat clamps v into the spec's declared bounds (open sides use
+// wide finite defaults).
+func ClampFloat(ps ParamSpec, v float64) float64 {
+	lo, hi := floatBounds(ps)
+	if math.IsNaN(v) || v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// FormatFloatParam renders a float parameter value in the canonical
+// textual form used by mutated parameter sets: shortest representation
+// that round-trips exactly.
+func FormatFloatParam(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// mutableSpecs returns the generator's parameters that MutateParams
+// knows how to perturb — int, float, and bool kinds — in schema order.
+func (g Generator) mutableSpecs() []ParamSpec {
+	var out []ParamSpec
+	for _, ps := range g.Params {
+		if ps.Kind == IntParam || ps.Kind == FloatParam || ps.Kind == BoolParam {
+			out = append(out, ps)
+		}
+	}
+	return out
+}
+
+// MutateParams returns a copy of p with one randomly chosen mutable
+// parameter perturbed inside its declared bounds:
+//
+//   - int parameters take a relative step of up to ±40% (at least ±1),
+//     clamped to [Min, Max];
+//   - float parameters are scaled by exp(U[-0.4, 0.4]) (zero values take
+//     a small absolute step instead), clamped to [Min, Max];
+//   - bool parameters flip.
+//
+// Parameters absent from p mutate from their declared defaults; string
+// parameters and parameters of a generator with no mutable parameters
+// are left untouched. The result is always in-schema: it resolves
+// against every ParamSpec of the generator, including bounds. Mutation
+// is deterministic in (g, p, rng state).
+func MutateParams(g Generator, p Params, rng *rand.Rand) Params {
+	out := make(Params, len(p)+1)
+	for k, v := range p {
+		out[k] = v
+	}
+	specs := g.mutableSpecs()
+	if len(specs) == 0 {
+		return out
+	}
+	ps := specs[rng.Intn(len(specs))]
+	cur, given := out[ps.Name]
+	if !given {
+		cur = ps.Default
+	}
+	switch ps.Kind {
+	case IntParam:
+		v, err := strconv.Atoi(cur)
+		if err != nil {
+			v, _ = strconv.Atoi(ps.Default)
+		}
+		// Relative step, minimum magnitude 1, either direction.
+		step := int(math.Ceil(math.Abs(float64(v)) * rng.Float64() * 0.4))
+		if step < 1 {
+			step = 1
+		}
+		if rng.Intn(2) == 0 {
+			step = -step
+		}
+		out[ps.Name] = strconv.Itoa(ClampInt(ps, v+step))
+	case FloatParam:
+		v, err := strconv.ParseFloat(cur, 64)
+		if err != nil || math.IsNaN(v) {
+			v, _ = strconv.ParseFloat(ps.Default, 64)
+		}
+		if v == 0 {
+			lo, hi := floatBounds(ps)
+			span := hi - lo
+			if span > 1 {
+				span = 1
+			}
+			v += rng.Float64() * 0.1 * span
+		} else {
+			v *= math.Exp((rng.Float64() - 0.5) * 0.8)
+		}
+		out[ps.Name] = FormatFloatParam(ClampFloat(ps, v))
+	case BoolParam:
+		v, err := strconv.ParseBool(cur)
+		if err != nil {
+			v, _ = strconv.ParseBool(ps.Default)
+		}
+		out[ps.Name] = strconv.FormatBool(!v)
+	}
+	return out
+}
+
+// CanonicalParams renders a parameter set as a deterministic
+// space-separated "name=value" list in name order, for candidate keys
+// and fixture provenance lines.
+func CanonicalParams(p Params) string {
+	names := make([]string, 0, len(p))
+	for n := range p {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%s", n, p[n])
+	}
+	return s
+}
+
+// ParseCanonicalParams parses CanonicalParams output back into a
+// parameter set; malformed entries are errors.
+func ParseCanonicalParams(s string) (Params, error) {
+	p := Params{}
+	for _, field := range strings.Fields(s) {
+		name, value, ok := strings.Cut(field, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("gen: malformed parameter entry %q", field)
+		}
+		p[name] = value
+	}
+	return p, nil
+}

@@ -1,0 +1,180 @@
+package gen
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/dag"
+)
+
+// TestMutationStaysInSchema is the mutation-validity property test: for
+// every registered family, a chain of 1000 seeded mutations starting
+// from the declared defaults must at every step produce a parameter set
+// that validates against the family's full ParamSpec schema — known
+// names, parseable kinds, and declared bounds. This is the contract the
+// adversarial search leans on: it mutates blindly and never re-checks.
+func TestMutationStaysInSchema(t *testing.T) {
+	for _, g := range Generators() {
+		t.Run(g.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			p := Params{}
+			for i := 0; i < 1000; i++ {
+				p = MutateParams(g, p, rng)
+				if err := g.ValidateParams(p); err != nil {
+					t.Fatalf("mutation %d of %s produced out-of-schema params %v: %v",
+						i, g.Name, p, err)
+				}
+			}
+		})
+	}
+}
+
+// TestMutationIsDeterministic pins that equal rng seeds yield equal
+// mutation chains, which the adversarial search's reproducibility
+// contract depends on.
+func TestMutationIsDeterministic(t *testing.T) {
+	for _, g := range Generators() {
+		chain := func() string {
+			rng := rand.New(rand.NewSource(7))
+			p := Params{}
+			s := ""
+			for i := 0; i < 50; i++ {
+				p = MutateParams(g, p, rng)
+				s += CanonicalParams(p) + "\n"
+			}
+			return s
+		}
+		if a, b := chain(), chain(); a != b {
+			t.Errorf("%s: two identically seeded mutation chains differ", g.Name)
+		}
+	}
+}
+
+// TestMutationMovesNumericParams checks mutation actually explores: over
+// many steps every mutable numeric parameter of a random family takes
+// at least two distinct values.
+func TestMutationMovesNumericParams(t *testing.T) {
+	for _, g := range RandomFamilies() {
+		rng := rand.New(rand.NewSource(3))
+		seen := map[string]map[string]bool{}
+		p := Params{}
+		for i := 0; i < 400; i++ {
+			p = MutateParams(g, p, rng)
+			for name, v := range p {
+				if seen[name] == nil {
+					seen[name] = map[string]bool{}
+				}
+				seen[name][v] = true
+			}
+		}
+		for _, ps := range g.Params {
+			if ps.Kind != IntParam && ps.Kind != FloatParam {
+				continue
+			}
+			if len(seen[ps.Name]) < 2 {
+				t.Errorf("%s: parameter %s never moved (values %v)", g.Name, ps.Name, seen[ps.Name])
+			}
+		}
+	}
+}
+
+// TestValidateParamsBounds pins that out-of-bounds values are rejected
+// with the declared bound in the message, and in-bounds ones accepted.
+func TestValidateParamsBounds(t *testing.T) {
+	g, ok := Lookup("erdos")
+	if !ok {
+		t.Fatal("erdos not registered")
+	}
+	if err := g.ValidateParams(Params{"p": "0.5"}); err != nil {
+		t.Errorf("in-bounds p rejected: %v", err)
+	}
+	if err := g.ValidateParams(Params{"p": "1.5"}); err == nil {
+		t.Error("out-of-bounds p accepted")
+	}
+	if err := g.ValidateParams(Params{"v": "0"}); err == nil {
+		t.Error("v below declared minimum accepted")
+	}
+	if err := g.ValidateParams(Params{"nope": "1"}); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+}
+
+// TestClampHelpers pins the clamp helpers on declared and open bounds.
+func TestClampHelpers(t *testing.T) {
+	ps := ParamSpec{Name: "x", Kind: IntParam, Default: "5", Min: "2", Max: "9"}
+	for _, tc := range []struct{ in, want int }{{1, 2}, {2, 2}, {5, 5}, {9, 9}, {10, 9}} {
+		if got := ClampInt(ps, tc.in); got != tc.want {
+			t.Errorf("ClampInt(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	fs := ParamSpec{Name: "y", Kind: FloatParam, Default: "0.5", Min: "0", Max: "1"}
+	if got := ClampFloat(fs, 2.5); got != 1 {
+		t.Errorf("ClampFloat(2.5) = %g, want 1", got)
+	}
+	if got := ClampFloat(fs, -1); got != 0 {
+		t.Errorf("ClampFloat(-1) = %g, want 0", got)
+	}
+}
+
+// TestCanonicalParamsRoundTrip pins the textual candidate-key format.
+func TestCanonicalParamsRoundTrip(t *testing.T) {
+	p := Params{"v": "30", "ccr": "0.5", "connect": "true"}
+	s := CanonicalParams(p)
+	if s != "ccr=0.5 connect=true v=30" {
+		t.Errorf("CanonicalParams = %q", s)
+	}
+	back, err := ParseCanonicalParams(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(p) {
+		t.Fatalf("round trip lost entries: %v", back)
+	}
+	for k, v := range p {
+		if back[k] != v {
+			t.Errorf("round trip %s: got %q want %q", k, back[k], v)
+		}
+	}
+	if _, err := ParseCanonicalParams("novalue"); err == nil {
+		t.Error("malformed entry accepted")
+	}
+}
+
+// TestBoundsRegistration pins that Register rejects inverted bounds and
+// out-of-bounds defaults.
+func TestBoundsRegistration(t *testing.T) {
+	mustPanic := func(name string, ps ParamSpec) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register accepted invalid bounds", name)
+			}
+		}()
+		Register(Generator{Name: name, Params: []ParamSpec{ps},
+			Fn: func(int64, Resolved) (*dag.Graph, error) { return nil, nil }})
+	}
+	mustPanic("bad-inverted", ParamSpec{Name: "x", Kind: IntParam, Default: "5", Min: "9", Max: "2"})
+	mustPanic("bad-default", ParamSpec{Name: "x", Kind: IntParam, Default: "1", Min: "2", Max: "9"})
+	mustPanic("bad-kind", ParamSpec{Name: "x", Kind: BoolParam, Default: "true", Min: "0", Max: "1"})
+	// strconv sanity for every registered family: all declared bounds parse.
+	for _, g := range Generators() {
+		for _, ps := range g.Params {
+			for _, b := range []string{ps.Min, ps.Max} {
+				if b == "" {
+					continue
+				}
+				var err error
+				switch ps.Kind {
+				case IntParam:
+					_, err = strconv.Atoi(b)
+				case FloatParam:
+					_, err = strconv.ParseFloat(b, 64)
+				}
+				if err != nil {
+					t.Errorf("%s.%s: unparseable bound %q", g.Name, ps.Name, b)
+				}
+			}
+		}
+	}
+}

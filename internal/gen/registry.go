@@ -2,6 +2,7 @@ package gen
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 
@@ -46,12 +47,18 @@ func (k ParamKind) String() string {
 }
 
 // ParamSpec declares one parameter of a registered generator: its name,
-// kind, textual default, and a one-line description used in generated
-// usage text.
+// kind, textual default, optional inclusive bounds, and a one-line
+// description used in generated usage text. Bounds apply to int and
+// float parameters only; an empty Min or Max leaves that side open.
+// Declared bounds are what schema-driven tools — the adversarial
+// instance search's mutation operators in particular — rely on to stay
+// inside each family's meaningful parameter region.
 type ParamSpec struct {
 	Name    string
 	Kind    ParamKind
 	Default string
+	Min     string // inclusive lower bound ("" = unbounded)
+	Max     string // inclusive upper bound ("" = unbounded)
 	Doc     string
 }
 
@@ -170,6 +177,9 @@ func Register(g Generator) {
 		if _, err := parseParam(ps, ps.Default); err != nil {
 			panic(fmt.Sprintf("gen: %s: bad default for %q: %v", g.Name, ps.Name, err))
 		}
+		if err := validateBounds(ps); err != nil {
+			panic(fmt.Sprintf("gen: %s: %v", g.Name, err))
+		}
 	}
 	if g.Random {
 		ints, floats := false, false
@@ -268,6 +278,9 @@ func (g Generator) resolve(p Params) (Resolved, error) {
 		if err != nil {
 			return Resolved{}, fmt.Errorf("gen: %s: parameter %s: %v", g.Name, ps.Name, err)
 		}
+		if err := checkBounds(ps, v); err != nil {
+			return Resolved{}, fmt.Errorf("gen: %s: parameter %s: %v", g.Name, ps.Name, err)
+		}
 		switch ps.Kind {
 		case IntParam:
 			r.ints[ps.Name] = v.(int)
@@ -311,5 +324,78 @@ func parseParam(ps ParamSpec, text string) (any, error) {
 
 // ccrParam is the CCR parameter spec shared by most generators.
 func ccrParam() ParamSpec {
-	return ParamSpec{Name: "ccr", Kind: FloatParam, Default: "1", Doc: "communication-to-computation ratio"}
+	return ParamSpec{Name: "ccr", Kind: FloatParam, Default: "1", Min: "0.001", Max: "1000", Doc: "communication-to-computation ratio"}
+}
+
+// validateBounds checks a spec's declared Min/Max at registration time:
+// they must parse as the parameter's kind, be orderable (int or float),
+// and bracket the declared default.
+func validateBounds(ps ParamSpec) error {
+	if ps.Min == "" && ps.Max == "" {
+		return nil
+	}
+	if ps.Kind != IntParam && ps.Kind != FloatParam {
+		return fmt.Errorf("parameter %q: bounds need an int or float kind, got %s", ps.Name, ps.Kind)
+	}
+	for _, text := range []string{ps.Min, ps.Max} {
+		if text == "" {
+			continue
+		}
+		if _, err := parseParam(ps, text); err != nil {
+			return fmt.Errorf("parameter %q: bad bound %q: %v", ps.Name, text, err)
+		}
+	}
+	def, _ := parseParam(ps, ps.Default)
+	if err := checkBounds(ps, def); err != nil {
+		return fmt.Errorf("parameter %q: default out of bounds: %v", ps.Name, err)
+	}
+	if ps.Min != "" && ps.Max != "" {
+		lo, _ := parseParam(ps, ps.Min)
+		hi, _ := parseParam(ps, ps.Max)
+		switch ps.Kind {
+		case IntParam:
+			if lo.(int) > hi.(int) {
+				return fmt.Errorf("parameter %q: min %s > max %s", ps.Name, ps.Min, ps.Max)
+			}
+		case FloatParam:
+			if lo.(float64) > hi.(float64) {
+				return fmt.Errorf("parameter %q: min %s > max %s", ps.Name, ps.Min, ps.Max)
+			}
+		}
+	}
+	return nil
+}
+
+// checkBounds rejects a parsed value outside the spec's declared bounds.
+func checkBounds(ps ParamSpec, v any) error {
+	switch ps.Kind {
+	case IntParam:
+		x := v.(int)
+		if ps.Min != "" {
+			if lo, _ := strconv.Atoi(ps.Min); x < lo {
+				return fmt.Errorf("value %d below minimum %s", x, ps.Min)
+			}
+		}
+		if ps.Max != "" {
+			if hi, _ := strconv.Atoi(ps.Max); x > hi {
+				return fmt.Errorf("value %d above maximum %s", x, ps.Max)
+			}
+		}
+	case FloatParam:
+		x := v.(float64)
+		if math.IsNaN(x) && (ps.Min != "" || ps.Max != "") {
+			return fmt.Errorf("value NaN cannot satisfy declared bounds")
+		}
+		if ps.Min != "" {
+			if lo, _ := strconv.ParseFloat(ps.Min, 64); x < lo {
+				return fmt.Errorf("value %g below minimum %s", x, ps.Min)
+			}
+		}
+		if ps.Max != "" {
+			if hi, _ := strconv.ParseFloat(ps.Max, 64); x > hi {
+				return fmt.Errorf("value %g above maximum %s", x, ps.Max)
+			}
+		}
+	}
+	return nil
 }

@@ -14,7 +14,7 @@ func init() {
 		Source: "Kwok & Ahmad (IPPS 1998), section 5.2",
 		Random: true,
 		Params: []ParamSpec{
-			{Name: "v", Kind: IntParam, Default: "20", Doc: "node count"},
+			{Name: "v", Kind: IntParam, Default: "20", Min: "1", Max: "1000000", Doc: "node count"},
 			ccrParam(),
 		},
 		Fn: func(seed int64, p Resolved) (*dag.Graph, error) {

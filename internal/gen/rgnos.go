@@ -15,9 +15,9 @@ func init() {
 		Source: "Kwok & Ahmad (IPPS 1998), section 5.4",
 		Random: true,
 		Params: []ParamSpec{
-			{Name: "v", Kind: IntParam, Default: "50", Doc: "node count"},
+			{Name: "v", Kind: IntParam, Default: "50", Min: "1", Max: "1000000", Doc: "node count"},
 			ccrParam(),
-			{Name: "parallelism", Kind: IntParam, Default: "3", Doc: "width parameter (width ≈ parallelism·sqrt(v))"},
+			{Name: "parallelism", Kind: IntParam, Default: "3", Min: "1", Max: "100", Doc: "width parameter (width ≈ parallelism·sqrt(v))"},
 		},
 		Fn: func(seed int64, p Resolved) (*dag.Graph, error) {
 			v := p.Int("v")

@@ -20,9 +20,9 @@ func init() {
 		Doc:    "random graphs constructed around a hidden optimal schedule (graph only)",
 		Source: "Kwok & Ahmad (IPPS 1998), section 5.3",
 		Params: []ParamSpec{
-			{Name: "v", Kind: IntParam, Default: "50", Doc: "approximate node count"},
+			{Name: "v", Kind: IntParam, Default: "50", Min: "1", Max: "1000000", Doc: "approximate node count"},
 			ccrParam(),
-			{Name: "procs", Kind: IntParam, Default: "8", Doc: "processors of the hidden construction schedule"},
+			{Name: "procs", Kind: IntParam, Default: "8", Min: "1", Max: "512", Doc: "processors of the hidden construction schedule"},
 		},
 		Fn: func(seed int64, p Resolved) (*dag.Graph, error) {
 			v, procs := p.Int("v"), p.Int("procs")

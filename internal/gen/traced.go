@@ -13,7 +13,7 @@ func init() {
 		Doc:    "traced graph of column-oriented Cholesky factorization of an n x n matrix",
 		Source: "Kwok & Ahmad (IPPS 1998), section 5.5",
 		Params: []ParamSpec{
-			{Name: "n", Kind: IntParam, Default: "8", Doc: "matrix dimension (tasks grow as O(n^2))"},
+			{Name: "n", Kind: IntParam, Default: "8", Min: "1", Max: "512", Doc: "matrix dimension (tasks grow as O(n^2))"},
 			ccrParam(),
 		},
 		Fn: func(seed int64, p Resolved) (*dag.Graph, error) {
@@ -25,7 +25,7 @@ func init() {
 		Doc:    "traced graph of Gaussian elimination without pivoting on an n x n matrix",
 		Source: "scheduling-literature standard (extension of the paper's TG suite)",
 		Params: []ParamSpec{
-			{Name: "n", Kind: IntParam, Default: "8", Doc: "matrix dimension (tasks grow as O(n^2))"},
+			{Name: "n", Kind: IntParam, Default: "8", Min: "1", Max: "512", Doc: "matrix dimension (tasks grow as O(n^2))"},
 			ccrParam(),
 		},
 		Fn: func(seed int64, p Resolved) (*dag.Graph, error) {
@@ -37,7 +37,7 @@ func init() {
 		Doc:    "butterfly graph of a points-sized fast Fourier transform (points a power of two)",
 		Source: "scheduling-literature standard (extension of the paper's TG suite)",
 		Params: []ParamSpec{
-			{Name: "points", Kind: IntParam, Default: "16", Doc: "FFT size (power of two)"},
+			{Name: "points", Kind: IntParam, Default: "16", Min: "2", Max: "1048576", Doc: "FFT size (power of two)"},
 			ccrParam(),
 		},
 		Fn: func(seed int64, p Resolved) (*dag.Graph, error) {

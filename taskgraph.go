@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/adversarial"
 	"repro/internal/algo/apn"
 	"repro/internal/algo/bnp"
 	"repro/internal/algo/cs"
@@ -439,6 +440,80 @@ func SimMonteCarlo(p *SimPlan, opts SimOptions, trials int) (SimStats, error) {
 	return sim.MonteCarlo(p, opts, trials)
 }
 
+// Adversarial instance search (extension, after "PISA: An Adversarial
+// Approach To Comparing Task Graph Scheduling Algorithms"): a seeded,
+// deterministic evolutionary loop over the generator registry's
+// parameter schemas that hunts task graphs on which one scheduling
+// algorithm beats another by the widest relative makespan margin —
+// counterexamples to the average-case rankings of the random suites.
+// The "adversarial" experiment runs it; found instances are archived
+// as .tg fixtures with provenance headers and pinned by regression
+// tests.
+
+// AdversarialOptions parameterizes a search run: seed, evolutionary
+// budget, families, node range, perturbation bound, and objective.
+type AdversarialOptions = adversarial.Options
+
+// AdversarialReport is the outcome of one search run: the
+// per-generation trace and the top counterexamples found.
+type AdversarialReport = adversarial.Report
+
+// AdversarialCandidate is one point of the search space: a generator
+// family, parameters, seeds, and an edge-weight perturbation.
+type AdversarialCandidate = adversarial.Candidate
+
+// AdversarialFound is one evaluated candidate in a report: the
+// candidate, its graph, the two makespans, and the objective score.
+type AdversarialFound = adversarial.Found
+
+// AdversarialFixture is one archived counterexample: a task graph with
+// the pair, machine size, provenance, and pinned makespan gap.
+type AdversarialFixture = adversarial.Fixture
+
+// AdversarialDefaults returns the quick-scale search configuration.
+func AdversarialDefaults(seed int64) AdversarialOptions { return adversarial.Defaults(seed) }
+
+// AdversarialSearch runs the evolutionary search for instances on
+// which algB beats algA, evaluating candidate populations through the
+// config's worker pool. The trajectory is deterministic in (opts,
+// pair) for every worker count. Algorithm names are resolved like
+// ParseAlgorithmPair's halves.
+func AdversarialSearch(cfg ExperimentConfig, opts AdversarialOptions, algA, algB string) (*AdversarialReport, error) {
+	return core.AdversarialSearch(cfg, opts, algA, algB)
+}
+
+// ParseAlgorithmPair parses and validates an "A:B" algorithm pair: two
+// registry names ("MCP:LAST"), class-qualified where ambiguous
+// ("DLS:APN/DLS"), or parameterized combo names ("MCP:alap/eft/ins/st").
+// Unknown names fail fast with the sorted list of valid ones.
+func ParseAlgorithmPair(s string) (algA, algB string, err error) {
+	return core.ParseAlgorithmPair(s)
+}
+
+// AlgorithmPairNames returns every plain algorithm name accepted in an
+// adversarial pair, sorted.
+func AlgorithmPairNames() []string { return core.PairNames() }
+
+// PerturbEdges returns g with every edge weight scaled by an
+// independent multiplier drawn uniformly from [1-spread, 1+spread]
+// (minimum 1), deterministically in (g, seed, spread). Spread 0
+// returns g unchanged.
+func PerturbEdges(g *Graph, seed int64, spread float64) (*Graph, error) {
+	return adversarial.PerturbEdges(g, seed, spread)
+}
+
+// ArchiveAdversarial writes a report's top k positive-gap instances as
+// .tg fixtures under dir and returns the written paths.
+func ArchiveAdversarial(dir string, rep *AdversarialReport, procs, k int) ([]string, error) {
+	return adversarial.Archive(dir, rep, procs, k)
+}
+
+// LoadAdversarialFixtures reads every archived .tg fixture under dir,
+// keyed by file name.
+func LoadAdversarialFixtures(dir string) (map[string]*AdversarialFixture, error) {
+	return adversarial.LoadFixtures(dir)
+}
+
 // Experiment harness.
 
 // ExperimentConfig parameterizes a paper experiment run. Workers bounds
@@ -476,7 +551,7 @@ func Experiments() []Experiment { return core.Experiments() }
 // ExperimentIDs returns the identifiers of every reproducible artifact:
 // the paper's tables and figures ("table1".."table6", "fig2".."fig4")
 // and the extension studies ("unccs", "tdb", "genx", "robust",
-// "components").
+// "components", "adversarial").
 func ExperimentIDs() []string {
 	var ids []string
 	for _, e := range core.Experiments() {

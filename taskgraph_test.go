@@ -2,6 +2,8 @@ package taskgraph
 
 import (
 	"bytes"
+	"io"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -176,17 +178,17 @@ func TestGeneratorRegistryFacade(t *testing.T) {
 
 func TestExperimentIDsFacade(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 14 {
-		t.Fatalf("ExperimentIDs = %v, want 14 entries", ids)
+	if len(ids) != 15 {
+		t.Fatalf("ExperimentIDs = %v, want 15 entries", ids)
 	}
-	haveGenx, haveRobust, haveComponents := false, false, false
+	have := map[string]bool{}
 	for _, id := range ids {
-		haveGenx = haveGenx || id == "genx"
-		haveRobust = haveRobust || id == "robust"
-		haveComponents = haveComponents || id == "components"
+		have[id] = true
 	}
-	if !haveGenx || !haveRobust || !haveComponents {
-		t.Errorf("ExperimentIDs missing genx, robust, or components: %v", ids)
+	for _, id := range []string{"genx", "robust", "components", "adversarial"} {
+		if !have[id] {
+			t.Errorf("ExperimentIDs missing %s: %v", id, ids)
+		}
 	}
 	var sink bytes.Buffer
 	if err := RunExperiment("table1", ExperimentConfig{Seed: 1, Scale: Quick, Out: &sink}); err != nil {
@@ -301,5 +303,52 @@ func TestSimulationFacade(t *testing.T) {
 	}
 	if _, err := CompileSimAPN(as); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestAdversarialFacade pins the adversarial re-exports: pair parsing,
+// a tiny search through the real evaluator, edge perturbation, and the
+// fixture archive round trip.
+func TestAdversarialFacade(t *testing.T) {
+	if _, _, err := ParseAlgorithmPair("MCP:NOPE"); err == nil {
+		t.Error("ParseAlgorithmPair accepted an unknown algorithm")
+	}
+	names := AlgorithmPairNames()
+	if len(names) == 0 || !sort.StringsAreSorted(names) {
+		t.Errorf("AlgorithmPairNames = %v, want a sorted non-empty list", names)
+	}
+
+	opts := AdversarialDefaults(11)
+	opts.Generations = 2
+	opts.Population = 6
+	cfg := ExperimentConfig{Seed: 11, Scale: Quick, Out: io.Discard, Workers: 2}
+	rep, err := AdversarialSearch(cfg, opts, "MCP", "LAST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AlgA != "MCP" || rep.AlgB != "LAST" || len(rep.Trace) != 2 {
+		t.Errorf("report = pair %s:%s, %d trace entries", rep.AlgA, rep.AlgB, len(rep.Trace))
+	}
+
+	g := buildDiamond(t)
+	perturbed, err := PerturbEdges(g, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perturbed.NumNodes() != g.NumNodes() || perturbed.NumEdges() != g.NumEdges() {
+		t.Error("PerturbEdges changed the graph structure")
+	}
+
+	dir := t.TempDir()
+	paths, err := ArchiveAdversarial(dir, rep, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtures, err := LoadAdversarialFixtures(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixtures) != len(paths) {
+		t.Errorf("archived %d fixtures, loaded %d", len(paths), len(fixtures))
 	}
 }
