@@ -119,6 +119,46 @@ func BenchmarkSimMonteCarlo(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultMonteCarlo measures the fault-injection engine's
+// steady-state Monte-Carlo loop — schedule once, compile once, then
+// 100 crash-injected executions of a 100-node MCP schedule under
+// checkpoint recovery at an MTBF harsh enough that most trials crash
+// and repair. This is the per-cell kernel behind -exp faults and the
+// fault engine's entry in the tracked BENCH_*.json trajectory.
+func BenchmarkFaultMonteCarlo(b *testing.B) {
+	g, err := gen.Generate("rgnos", 7, gen.Params{"v": "100", "ccr": "1"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := ScheduleBNP("MCP", g, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, err := CompileFaults(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	static := s.Makespan()
+	opts := FaultOptions{
+		Sim:      SimOptions{Seed: 1998},
+		Faults:   FaultModel{MTBF: static, MeanRepair: static / 10},
+		Recovery: RecoveryCheckpoint(static / 16),
+		Deadline: 3 * static / 2,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := FaultMonteCarlo(x, opts, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(st.SurvivalRate, "survival")
+			b.ReportMetric(st.MeanCrashes, "mean-crashes")
+		}
+	}
+}
+
 // BenchmarkExperimentWorkers measures the parallel experiment runner's
 // scaling on table6, the heaviest quick-scale sweep (all 15 algorithms
 // over the RGNOS suite). Compare the workers=1 and workers=N lines to

@@ -4,15 +4,17 @@
 // Usage:
 //
 //	dagbench [-exp id[,id...]] [-scale quick|full] [-seed N] [-workers N]
-//	         [-pair A:B] [-archive dir]
+//	         [-pair A:B] [-archive dir] [-faults]
 //
 // Experiment ids are table1..table6, fig2..fig4, the extension studies
 // unccs, tdb, genx (the Canon et al. 2019 cross-generator ranking
 // stability study), robust (the Monte-Carlo execution-robustness
 // study on the internal/sim simulator), components (the component
 // attribution of the parameterized scheduler space on homogeneous and
-// heterogeneous machines), and adversarial (the PISA-style
-// evolutionary search for counterexample instances), or all (the
+// heterogeneous machines), adversarial (the PISA-style
+// evolutionary search for counterexample instances), and faults (the
+// fault-injection study of schedule degradation and reactive
+// recovery), or all (the
 // default); a comma-separated list runs several in order, e.g.
 // -exp=table2,table3,genx. Unknown ids fail fast, before anything
 // runs, with the sorted list of valid names. -exp=list (or help)
@@ -26,6 +28,11 @@
 // An unknown name fails fast with the sorted list of valid ones.
 // -archive names a directory the adversarial experiment writes its
 // found counterexamples into, as .tg fixtures with provenance headers.
+// -faults switches the adversarial search to the fault-gap objective:
+// candidates are scored on fault-effective makespans measured under the
+// canonical fault scenario (crashes at MTBF equal to the graph's
+// critical-path computation cost, reactive resubmit recovery) instead
+// of static makespans.
 //
 // With -scale=quick (the default) each experiment runs a reduced
 // workload in seconds; -scale=full reproduces the paper's instance
@@ -69,12 +76,13 @@ func main() {
 // run returns the process exit code; it is named so the -memprofile
 // defer can fail the run after the experiments succeed.
 func run() (code int) {
-	exp := flag.String("exp", "all", "experiment id or comma-separated list (table1..table6, fig2..fig4, unccs, tdb, genx, robust, components, adversarial, or all)")
+	exp := flag.String("exp", "all", "experiment id or comma-separated list (table1..table6, fig2..fig4, unccs, tdb, genx, robust, components, adversarial, faults, or all)")
 	scale := flag.String("scale", "quick", "workload scale: quick or full")
 	seed := flag.Int64("seed", 1998, "random seed for the benchmark suites")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent scheduling cells (<= 0: GOMAXPROCS)")
 	pair := flag.String("pair", "", "algorithm pair \"A:B\" for the adversarial experiment (default MCP:LAST)")
 	archive := flag.String("archive", "", "directory the adversarial experiment archives counterexample fixtures into")
+	faults := flag.Bool("faults", false, "score adversarial candidates on fault-effective makespans (fault-gap objective) instead of static makespans")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the experiment runs to this file")
 	flag.Parse()
@@ -127,6 +135,7 @@ func run() (code int) {
 		Cache:              taskgraph.NewSuiteCache(),
 		AdversarialPair:    *pair,
 		AdversarialArchive: *archive,
+		AdversarialFaults:  *faults,
 	}
 	switch *scale {
 	case "quick":

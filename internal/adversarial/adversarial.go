@@ -84,6 +84,23 @@ func (o FlipObjective) Score(lenA, lenB int64) float64 {
 // Name returns "flip".
 func (o FlipObjective) Name() string { return "flip" }
 
+// FaultObjective maximizes the relative gap of fault-effective
+// makespans: the evaluator feeds Score the two algorithms' expected
+// realized makespans under the canonical fault scenario of
+// internal/core (crashes at MTBF equal to the critical-path
+// computation cost, reactive rescheduling, deadline-miss penalty)
+// instead of the static lengths, so the search hunts instances whose
+// static winner degrades worst under failures.
+type FaultObjective struct{}
+
+// Score returns (lenA-lenB)/lenB over fault-effective makespans.
+func (FaultObjective) Score(lenA, lenB int64) float64 {
+	return GapObjective{}.Score(lenA, lenB)
+}
+
+// Name returns "fault-gap".
+func (FaultObjective) Name() string { return "fault-gap" }
+
 // Candidate is one point of the search space: a generator family, an
 // in-schema textual parameter set, a generation seed, and an optional
 // per-instance edge-weight perturbation (multiplicative, spread

@@ -305,10 +305,11 @@ func TestFixtureRoundTrip(t *testing.T) {
 			PerturbSeed: 7,
 			Perturb:     0.25,
 		},
-		LenA:   12,
-		LenB:   10,
-		MinGap: 0.2,
-		G:      g,
+		LenA:      12,
+		LenB:      10,
+		MinGap:    0.2,
+		Objective: "fault-gap",
+		G:         g,
 	}
 	var buf bytes.Buffer
 	if err := WriteFixture(&buf, in); err != nil {
@@ -330,6 +331,9 @@ func TestFixtureRoundTrip(t *testing.T) {
 	}
 	if out.LenA != 12 || out.LenB != 10 || out.MinGap != 0.2 {
 		t.Errorf("lengths/gap lost: %+v", out)
+	}
+	if out.Objective != "fault-gap" {
+		t.Errorf("objective lost: %q, want \"fault-gap\"", out.Objective)
 	}
 	if out.G.NumNodes() != 2 || out.G.NumEdges() != 1 {
 		t.Errorf("graph lost: %d nodes %d edges", out.G.NumNodes(), out.G.NumEdges())

@@ -41,6 +41,12 @@ type Fixture struct {
 	// MinGap is the pinned lower bound on the relative gap
 	// (LenA-LenB)/LenB that regression tests assert.
 	MinGap float64
+	// Objective names the search objective the lengths were measured
+	// under; empty means the static-makespan "gap" objective. Fixtures
+	// found under "fault-gap" record fault-effective makespans, and
+	// regression tests re-run them through the canonical fault scenario
+	// instead of static scheduling.
+	Objective string
 	// G is the instance itself.
 	G *dag.Graph
 }
@@ -61,6 +67,9 @@ func WriteFixture(w io.Writer, f *Fixture) error {
 	fmt.Fprintf(bw, "# adv perturb %s %d\n", gen.FormatFloatParam(f.Perturb), f.PerturbSeed)
 	fmt.Fprintf(bw, "# adv lengths %d %d\n", f.LenA, f.LenB)
 	fmt.Fprintf(bw, "# adv mingap %s\n", gen.FormatFloatParam(f.MinGap))
+	if f.Objective != "" && f.Objective != "gap" {
+		fmt.Fprintf(bw, "# adv objective %s\n", f.Objective)
+	}
 	if err := bw.Flush(); err != nil {
 		return err
 	}
@@ -118,6 +127,8 @@ func ReadFixture(r io.Reader) (*Fixture, error) {
 			}
 		case "mingap":
 			f.MinGap, perr = strconv.ParseFloat(args[0], 64)
+		case "objective":
+			f.Objective = args[0]
 		default:
 			perr = fmt.Errorf("unknown key")
 		}
@@ -183,7 +194,8 @@ func Archive(dir string, rep *Report, procs int, k int) ([]string, error) {
 			// Pin a slightly slack floor so the fixture keeps passing
 			// under harmless rounding churn while still asserting most
 			// of the found margin.
-			MinGap: floorGap(gap),
+			MinGap:    floorGap(gap),
+			Objective: rep.Objective,
 		}
 		path := filepath.Join(dir, FixtureName(found.Family, rep.AlgA, rep.AlgB, rank))
 		file, err := os.Create(path)

@@ -43,41 +43,51 @@ func fixtureTopology(t *testing.T, procs int) *machine.Topology {
 	return machine.Hypercube(3)
 }
 
+// fixtureLength measures one algorithm on a fixture's graph under the
+// fixture's objective: the static makespan for the default "gap"
+// objective, the fault-effective makespan (the canonical fault scenario
+// of core.FaultEffective) for "fault-gap" fixtures.
+func fixtureLength(t *testing.T, fx *adversarial.Fixture, name string, topo *machine.Topology) int64 {
+	t.Helper()
+	alg, err := core.AlgorithmByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fx.Objective == (adversarial.FaultObjective{}).Name() {
+		length, err := core.FaultEffective(alg, fx.G, fx.Procs, topo)
+		if err != nil {
+			t.Fatalf("%s under faults: %v", name, err)
+		}
+		return length
+	}
+	res, err := alg.Run(fx.G, fx.Procs, topo)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return res.Length
+}
+
 // TestFixtureGapRegression re-runs each fixture's algorithm pair on the
-// stored graph and asserts that B still beats A by at least the pinned
-// relative margin.
+// stored graph — under the fixture's recorded objective — and asserts
+// that B still beats A by at least the pinned relative margin.
 func TestFixtureGapRegression(t *testing.T) {
 	for name, fx := range loadTestdata(t) {
 		t.Run(name, func(t *testing.T) {
-			a, err := core.AlgorithmByName(fx.AlgA)
-			if err != nil {
-				t.Fatal(err)
-			}
-			b, err := core.AlgorithmByName(fx.AlgB)
-			if err != nil {
-				t.Fatal(err)
-			}
 			topo := fixtureTopology(t, fx.Procs)
-			resA, err := a.Run(fx.G, fx.Procs, topo)
-			if err != nil {
-				t.Fatalf("%s: %v", fx.AlgA, err)
-			}
-			resB, err := b.Run(fx.G, fx.Procs, topo)
-			if err != nil {
-				t.Fatalf("%s: %v", fx.AlgB, err)
-			}
-			if resB.Length >= resA.Length {
+			lenA := fixtureLength(t, fx, fx.AlgA, topo)
+			lenB := fixtureLength(t, fx, fx.AlgB, topo)
+			if lenB >= lenA {
 				t.Fatalf("counterexample no longer holds: %s=%d is not shorter than %s=%d",
-					fx.AlgB, resB.Length, fx.AlgA, resA.Length)
+					fx.AlgB, lenB, fx.AlgA, lenA)
 			}
-			gap := float64(resA.Length-resB.Length) / float64(resB.Length)
+			gap := float64(lenA-lenB) / float64(lenB)
 			if gap < fx.MinGap {
 				t.Errorf("gap shrank below the pinned floor: %.4f < %.3f (%s=%d, %s=%d; archived %d/%d)",
-					gap, fx.MinGap, fx.AlgA, resA.Length, fx.AlgB, resB.Length, fx.LenA, fx.LenB)
+					gap, fx.MinGap, fx.AlgA, lenA, fx.AlgB, lenB, fx.LenA, fx.LenB)
 			}
-			if resA.Length != fx.LenA || resB.Length != fx.LenB {
-				t.Errorf("makespans drifted from the archived values: got %d/%d, recorded %d/%d",
-					resA.Length, resB.Length, fx.LenA, fx.LenB)
+			if lenA != fx.LenA || lenB != fx.LenB {
+				t.Errorf("lengths drifted from the archived values: got %d/%d, recorded %d/%d",
+					lenA, lenB, fx.LenA, fx.LenB)
 			}
 		})
 	}

@@ -107,17 +107,28 @@ func AdversarialSearch(cfg Config, opts adversarial.Options, algA, algB string) 
 		return nil, err
 	}
 	topo := apnTopology()
+	// Under the fault-gap objective a candidate's two lengths are
+	// fault-effective makespans (FaultEffective); otherwise they are the
+	// static makespans the paper compares.
+	faulty := opts.Objective != nil && opts.Objective.Name() == adversarial.FaultObjective{}.Name()
+	measure := func(alg Algorithm, g *dag.Graph) (int64, error) {
+		if faulty {
+			return FaultEffective(alg, g, adversarialProcs, topo)
+		}
+		res, err := alg.Run(g, adversarialProcs, topo)
+		return res.Length, err
+	}
 	eval := func(graphs []*dag.Graph) ([][2]int64, error) {
-		var p plan[Result]
+		var p plan[int64]
 		for _, g := range graphs {
 			for _, alg := range []Algorithm{a, b} {
-				p.add(func() (Result, error) {
-					res, err := alg.Run(g, adversarialProcs, topo)
+				p.add(func() (int64, error) {
+					length, err := measure(alg, g)
 					if err != nil {
-						return Result{}, fmt.Errorf("adversarial: %s on a %d-node candidate: %w",
+						return 0, fmt.Errorf("adversarial: %s on a %d-node candidate: %w",
 							alg.Name, g.NumNodes(), err)
 					}
-					return res, nil
+					return length, nil
 				})
 			}
 		}
@@ -126,9 +137,9 @@ func AdversarialSearch(cfg Config, opts adversarial.Options, algA, algB string) 
 			return nil, err
 		}
 		out := make([][2]int64, len(graphs))
-		cur := cursor[Result]{rs: results}
+		cur := cursor[int64]{rs: results}
 		for i := range graphs {
-			out[i] = [2]int64{cur.next().Length, cur.next().Length}
+			out[i] = [2]int64{cur.next(), cur.next()}
 		}
 		return out, nil
 	}
@@ -167,6 +178,9 @@ func Adversarial(cfg Config) error {
 		return err
 	}
 	opts := adversarialOptions(cfg)
+	if cfg.AdversarialFaults {
+		opts.Objective = adversarial.FaultObjective{}
+	}
 	rep, err := AdversarialSearch(cfg, opts, algA, algB)
 	if err != nil {
 		return err

@@ -39,6 +39,9 @@ func runForOutput(t *testing.T, id string, workers int, cache *SuiteCache) strin
 // seconds are not.)
 func TestExperimentsDeterministic(t *testing.T) {
 	cache := NewSuiteCache()
+	// faults is seed-deterministic too (its own test pins that at three
+	// worker counts) but costs ~10s per run, so it skips the extra
+	// serial repeat here.
 	cheap := map[string]bool{"table1": true, "table4": true, "table5": true, "fig4": true, "tdb": true, "genx": true, "robust": true, "components": true, "adversarial": true}
 	// The branch-and-bound and full-suite sweeps dominate the package's
 	// test time; under -short (e.g. the -race CI job) only the cheap

@@ -48,6 +48,14 @@ type Config struct {
 	// adversarial experiment writes its top counterexample fixtures
 	// into (.tg files with provenance headers).
 	AdversarialArchive string
+
+	// AdversarialFaults switches the adversarial experiment to the
+	// fault-gap objective: candidates are scored on fault-effective
+	// makespans measured under the canonical fault scenario (see
+	// FaultEffective) instead of static makespans, hunting instances
+	// whose schedules degrade ungracefully for one algorithm but not
+	// the other.
+	AdversarialFaults bool
 }
 
 // runner returns the worker pool for this run.
@@ -79,6 +87,7 @@ func Experiments() []Experiment {
 		{"robust", "Extension (Beránek et al.): Monte-Carlo execution robustness under perturbed durations and link contention", Robust},
 		{"components", "Extension (Coleman et al. 2024): component attribution over the parameterized scheduler space, homogeneous and heterogeneous", Components},
 		{"adversarial", "Extension (PISA): adversarial evolutionary search for instances where one algorithm beats another", Adversarial},
+		{"faults", "Extension (fault injection): graceful degradation of static schedules under processor and link failures, with reactive recovery", Faults},
 	}
 }
 

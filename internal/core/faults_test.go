@@ -1,0 +1,45 @@
+package core
+
+import (
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// bnpSurvivalLine parses the class-level policy comparison emitted by
+// the faults experiment.
+var bnpSurvivalLine = regexp.MustCompile(
+	`BNP deadline survival at mtbf=[^:]+: none=([0-9.]+)% resubmit=([0-9.]+)% checkpoint=([0-9.]+)% replicate=([0-9.]+)%`)
+
+// TestFaultsDeterministicAcrossWorkers pins the acceptance criteria of
+// the fault-injection study: byte-identical output at every worker
+// count, and reactive recovery (resubmit, checkpoint) strictly beating
+// no recovery on deadline survival at the harshest MTBF.
+func TestFaultsDeterministicAcrossWorkers(t *testing.T) {
+	cache := NewSuiteCache()
+	base := runForOutput(t, "faults", 1, cache)
+	m := bnpSurvivalLine.FindStringSubmatch(base)
+	if m == nil {
+		t.Fatalf("faults output missing the BNP survival line:\n%s", base)
+	}
+	pct := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("unparseable survival %q", s)
+		}
+		return v
+	}
+	none, resubmit, checkpoint := pct(m[1]), pct(m[2]), pct(m[3])
+	if resubmit <= none {
+		t.Errorf("resubmit survival %.1f%% does not strictly beat none %.1f%%", resubmit, none)
+	}
+	if checkpoint <= none {
+		t.Errorf("checkpoint survival %.1f%% does not strictly beat none %.1f%%", checkpoint, none)
+	}
+	for _, workers := range []int{4, 8} {
+		if got := runForOutput(t, "faults", workers, cache); got != base {
+			t.Errorf("faults output with %d workers differs from serial:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
+				workers, base, workers, got)
+		}
+	}
+}

@@ -77,7 +77,22 @@ type Schedule struct {
 	// units. Nil means uniform unit speed, where the execution time is
 	// exactly the node weight — the paper's homogeneous model.
 	speed []float64
+
+	// avail optionally floors the EST of every processor (repair-pass
+	// availability mask, see SetAvailableFrom); nil means every
+	// processor is available from time 0. The Never sentinel excludes a
+	// processor from EST queries entirely.
+	avail []int64
+
+	// hasFixed records that PlaceFixed committed at least one slot whose
+	// duration is an observed execution time rather than ExecTime, so
+	// Validate skips the duration check.
+	hasFixed bool
 }
+
+// Never is the availability sentinel for a processor that will not
+// return to service; see SetAvailableFrom.
+const Never int64 = math.MaxInt64
 
 // New returns an empty schedule for g on numProcs processors.
 // For UNC (unbounded-processor) algorithms pass numProcs equal to the
@@ -139,6 +154,8 @@ func (s *Schedule) Reset(g *dag.Graph, numProcs int) {
 	s.placed = 0
 	s.maxFin = 0
 	s.speed = nil
+	s.avail = nil
+	s.hasFixed = false
 }
 
 // SetSpeeds makes the processors heterogeneous: node n on processor p
@@ -166,6 +183,42 @@ func (s *Schedule) SetSpeeds(speeds []float64) error {
 // Speeds returns the per-processor speed vector, or nil for uniform unit
 // speeds. The slice is shared with the schedule and must not be modified.
 func (s *Schedule) Speeds() []float64 { return s.speed }
+
+// SetAvailableFrom restricts when each processor may run newly queried
+// work: every EST query on processor p is floored at avail[p], and a
+// processor whose entry is the Never sentinel is skipped by BestEST
+// entirely (BestEST returns proc == -1 when every processor is Never).
+// The mask models machine availability after failures — a repair pass
+// fixes the realized prefix of an execution with PlaceFixed (which the
+// mask deliberately does not constrain) and then list-schedules the
+// unfinished suffix onto the processors still in service. Nil clears
+// the mask; the vector is copied.
+func (s *Schedule) SetAvailableFrom(avail []int64) error {
+	if avail == nil {
+		s.avail = nil
+		return nil
+	}
+	if len(avail) != len(s.procs) {
+		return fmt.Errorf("sched: %d availability entries for %d processors", len(avail), len(s.procs))
+	}
+	for p, a := range avail {
+		if a < 0 {
+			return fmt.Errorf("sched: negative availability %d for processor %d", a, p)
+		}
+	}
+	s.avail = append(s.avail[:0], avail...)
+	return nil
+}
+
+// AvailableFrom returns the availability floor of processor p: 0
+// without a mask, otherwise the time set by SetAvailableFrom (possibly
+// Never).
+func (s *Schedule) AvailableFrom(p int) int64 {
+	if s.avail == nil {
+		return 0
+	}
+	return s.avail[p]
+}
 
 // ExecTime returns the execution time of node n on processor p:
 // ceil(Weight(n)/speed[p]), or exactly the weight under uniform speeds.
@@ -255,6 +308,42 @@ func (s *Schedule) Place(n dag.NodeID, p int, start int64) error {
 		return fmt.Errorf("sched: negative start time %d for node %d", start, n)
 	}
 	finish := start + s.ExecTime(n, p)
+	return s.commit(n, p, start, finish)
+}
+
+// PlaceFixed schedules node n on processor p over an explicit
+// [start, finish) interval instead of deriving the duration from
+// ExecTime. Repair passes use it to pin the realized prefix of an
+// execution — finished tasks at their observed durations, running tasks
+// at their committed finish times — before list-scheduling the
+// unfinished suffix with the estimated durations. The availability mask
+// does not apply: the interval is history, not a new decision. A
+// zero-length interval is allowed (a task whose realized duration
+// rounded to nothing).
+func (s *Schedule) PlaceFixed(n dag.NodeID, p int, start, finish int64) error {
+	if s.proc[n] >= 0 {
+		return fmt.Errorf("sched: node %d already scheduled", n)
+	}
+	if p < 0 || p >= len(s.procs) {
+		return fmt.Errorf("sched: processor %d out of range [0,%d)", p, len(s.procs))
+	}
+	if start < 0 {
+		return fmt.Errorf("sched: negative start time %d for node %d", start, n)
+	}
+	if finish < start {
+		return fmt.Errorf("sched: node %d finish %d before start %d", n, finish, start)
+	}
+	if err := s.commit(n, p, start, finish); err != nil {
+		return err
+	}
+	s.hasFixed = true
+	return nil
+}
+
+// commit inserts the slot and maintains every incremental structure:
+// placement arrays, last-finish mirror, makespan, and the children's
+// data-arrival cache rows.
+func (s *Schedule) commit(n dag.NodeID, p int, start, finish int64) error {
 	if err := s.procs[p].Insert(Slot{Node: n, Start: start, Finish: finish}); err != nil {
 		return fmt.Errorf("sched: node %d on P%d: %w", n, p, err)
 	}
@@ -451,6 +540,17 @@ func (s *Schedule) ESTOn(n dag.NodeID, p int, insertion bool) (est int64, ok boo
 	if !ok {
 		return 0, false
 	}
+	if s.avail != nil {
+		a := s.avail[p]
+		if a == Never {
+			// The sentinel propagates: an excluded processor has no
+			// finite start time.
+			return Never, true
+		}
+		if a > drt {
+			drt = a
+		}
+	}
 	if !insertion {
 		// Non-insertion placement never looks at gaps; the open-ended
 		// slot after the last task is read off the flat mirror.
@@ -464,7 +564,9 @@ func (s *Schedule) ESTOn(n dag.NodeID, p int, insertion bool) (est int64, ok boo
 
 // BestEST returns the processor giving the smallest EST for n over all
 // processors, breaking ties toward lower processor indices. ok is false
-// if a parent is unscheduled.
+// if a parent is unscheduled. Under an availability mask, processors
+// marked Never are skipped; when every processor is excluded the result
+// is proc == -1 with ok still true.
 func (s *Schedule) BestEST(n dag.NodeID, insertion bool) (proc int, est int64, ok bool) {
 	if !insertion {
 		return s.BestESTNonInsertion(n)
@@ -474,6 +576,9 @@ func (s *Schedule) BestEST(n dag.NodeID, insertion bool) (proc int, est int64, o
 		e, k := s.ESTOn(n, p, insertion)
 		if !k {
 			return -1, 0, false
+		}
+		if e == Never && s.avail != nil {
+			continue
 		}
 		if proc == -1 || e < est {
 			proc, est = p, e
@@ -508,6 +613,15 @@ func (s *Schedule) BestESTNonInsertion(n dag.NodeID) (proc int, est int64, ok bo
 		if lf > drt {
 			drt = lf
 		}
+		if s.avail != nil {
+			a := s.avail[p]
+			if a == Never {
+				continue
+			}
+			if a > drt {
+				drt = a
+			}
+		}
 		if proc == -1 || drt < est {
 			proc, est = p, drt
 		}
@@ -525,7 +639,9 @@ func (s *Schedule) Validate() error {
 			return fmt.Errorf("sched: P%d: %w", p, err)
 		}
 		for _, sl := range s.procs[p].Slots() {
-			if sl.Finish-sl.Start != s.ExecTime(sl.Node, p) {
+			if !s.hasFixed && sl.Finish-sl.Start != s.ExecTime(sl.Node, p) {
+				// PlaceFixed commits observed durations, which legitimately
+				// differ from the static execution-time estimate.
 				return fmt.Errorf("sched: node %d duration %d != execution time %d",
 					sl.Node, sl.Finish-sl.Start, s.ExecTime(sl.Node, p))
 			}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/algo/unc"
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/ft"
 	"repro/internal/gen"
 	"repro/internal/machine"
 	"repro/internal/optimal"
@@ -438,6 +439,80 @@ func SimulateAPN(s *APNSchedule, opts SimOptions) (SimResult, error) {
 // Results are deterministic in (opts, trials).
 func SimMonteCarlo(p *SimPlan, opts SimOptions, trials int) (SimStats, error) {
 	return sim.MonteCarlo(p, opts, trials)
+}
+
+// Fault injection (internal/ft): a fault-capable replay of the
+// execution model above, extended with fail-stop processor crashes,
+// transient link outages (APN), and pluggable recovery policies that
+// react to failures at runtime. With the zero fault model the engine
+// reproduces the fault-free simulator byte-identically; the "faults"
+// experiment sweeps MTBF against recovery policy on top of this API.
+
+// FaultModel configures deterministic fail-stop processor crashes and
+// transient link outages. The zero value injects no faults.
+type FaultModel = sim.FaultModel
+
+// FaultExec is a compiled fault-capable schedule, executable any
+// number of times; compile once, then Run or FaultMonteCarlo.
+type FaultExec = ft.Exec
+
+// FaultOptions parameterizes one fault-injected execution: the
+// perturbation model (SimOptions), the fault model, the recovery
+// policy, and an optional deadline for survival accounting.
+type FaultOptions = ft.Options
+
+// FaultResult reports one fault-injected execution: whether the
+// schedule finished, the realized makespan and ratio, crash and
+// lost-work counts, and per-processor busy/idle/down time.
+type FaultResult = ft.Result
+
+// FaultStats summarizes a fault-injection Monte-Carlo study:
+// finish and deadline-survival rates, ratio statistics, and mean
+// utilization splits over the trials.
+type FaultStats = ft.Stats
+
+// RecoveryPolicy decides how a fault-injected execution reacts to
+// processor crashes; see RecoveryNone, RecoveryResubmit,
+// RecoveryCheckpoint, and RecoveryReplicate.
+type RecoveryPolicy = ft.RecoveryPolicy
+
+// RecoveryNone lets lost work stay lost: a run that cannot finish
+// every task reports Finished == false (an SLO miss).
+func RecoveryNone() RecoveryPolicy { return ft.None() }
+
+// RecoveryResubmit remaps the unfinished suffix of a crashed execution
+// onto the surviving processors with a list-scheduling repair pass.
+func RecoveryResubmit() RecoveryPolicy { return ft.Resubmit() }
+
+// RecoveryCheckpoint is resubmit plus periodic checkpoints every
+// `every` time units: re-executed tasks resume from their last
+// checkpoint boundary instead of from zero.
+func RecoveryCheckpoint(every int64) RecoveryPolicy { return ft.Checkpoint(every) }
+
+// RecoveryReplicate duplicates the top-k static-b-level tasks on
+// distinct processors at compile time; the first finisher wins.
+func RecoveryReplicate(k int) RecoveryPolicy { return ft.Replicate(k) }
+
+// RecoveryPolicyNames lists the registered recovery policies in
+// presentation order.
+func RecoveryPolicyNames() []string { return ft.PolicyNames() }
+
+// CompileFaults compiles a complete clique-model schedule into a
+// fault-capable FaultExec supporting every recovery policy.
+func CompileFaults(s *Schedule) (*FaultExec, error) { return ft.Compile(s) }
+
+// CompileFaultsAPN compiles a complete APN schedule — tasks plus
+// committed link reservations — into a fault-capable FaultExec.
+// APN executions support the none recovery policy.
+func CompileFaultsAPN(s *APNSchedule) (*FaultExec, error) { return ft.CompileAPN(s) }
+
+// FaultMonteCarlo executes a compiled fault-capable schedule for the
+// given number of independent trials and returns survival and
+// degradation statistics. Results are deterministic in (opts, trials),
+// and failure traces are paired across schedules and policies at equal
+// options.
+func FaultMonteCarlo(x *FaultExec, opts FaultOptions, trials int) (FaultStats, error) {
+	return ft.MonteCarlo(x, opts, trials)
 }
 
 // Adversarial instance search (extension, after "PISA: An Adversarial

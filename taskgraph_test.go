@@ -178,14 +178,14 @@ func TestGeneratorRegistryFacade(t *testing.T) {
 
 func TestExperimentIDsFacade(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 15 {
-		t.Fatalf("ExperimentIDs = %v, want 15 entries", ids)
+	if len(ids) != 16 {
+		t.Fatalf("ExperimentIDs = %v, want 16 entries", ids)
 	}
 	have := map[string]bool{}
 	for _, id := range ids {
 		have[id] = true
 	}
-	for _, id := range []string{"genx", "robust", "components", "adversarial"} {
+	for _, id := range []string{"genx", "robust", "components", "adversarial", "faults"} {
 		if !have[id] {
 			t.Errorf("ExperimentIDs missing %s: %v", id, ids)
 		}
@@ -303,6 +303,75 @@ func TestSimulationFacade(t *testing.T) {
 	}
 	if _, err := CompileSimAPN(as); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFaultFacade pins the fault-injection re-exports: compilation,
+// the zero-fault anchor, a crashy Monte-Carlo run under each recovery
+// policy constructor, and the APN compile path.
+func TestFaultFacade(t *testing.T) {
+	if names := RecoveryPolicyNames(); len(names) != 4 {
+		t.Errorf("RecoveryPolicyNames = %v, want 4 policies", names)
+	}
+	g := buildDiamond(t)
+	s, err := ScheduleBNP("MCP", g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := CompileFaults(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No faults: every trial replays the static schedule exactly.
+	st, err := FaultMonteCarlo(x, FaultOptions{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Static != s.Makespan() || st.SurvivalRate != 1 || st.MeanRatio != 1 || st.MeanCrashes != 0 {
+		t.Errorf("zero-fault FaultMonteCarlo stats = %+v, static %d", st, s.Makespan())
+	}
+	// A harsh fault model with each recovery policy; runs must be
+	// reproducible and the accounting sane.
+	static := s.Makespan()
+	for _, pol := range []RecoveryPolicy{
+		RecoveryNone(), RecoveryResubmit(), RecoveryCheckpoint(static / 4), RecoveryReplicate(2),
+	} {
+		opts := FaultOptions{
+			Sim:      SimOptions{Seed: 7},
+			Faults:   FaultModel{MTBF: static / 2, MeanRepair: static / 8},
+			Recovery: pol,
+			Deadline: 2 * static,
+		}
+		st1, err := FaultMonteCarlo(x, opts, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		st2, err := FaultMonteCarlo(x, opts, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st1.Survived != st2.Survived || st1.MeanRatio != st2.MeanRatio {
+			t.Errorf("%s: FaultMonteCarlo not reproducible", pol.Name())
+		}
+		if st1.Survived > st1.Finished || st1.Finished > st1.Trials {
+			t.Errorf("%s: inconsistent counts %+v", pol.Name(), st1)
+		}
+	}
+
+	as, err := ScheduleAPN("MH", g, Hypercube(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax, err := CompileFaultsAPN(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ast, err := FaultMonteCarlo(ax, FaultOptions{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast.Static != as.Makespan() || ast.MeanRatio != 1 {
+		t.Errorf("zero-fault APN FaultMonteCarlo stats = %+v, static %d", ast, as.Makespan())
 	}
 }
 
