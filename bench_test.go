@@ -10,8 +10,10 @@ package taskgraph
 // ablations report NSL through b.ReportMetric in addition to time.
 
 import (
+	"bytes"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -156,6 +158,73 @@ func BenchmarkFaultMonteCarlo(b *testing.B) {
 			b.ReportMetric(st.SurvivalRate, "survival")
 			b.ReportMetric(st.MeanCrashes, "mean-crashes")
 		}
+	}
+}
+
+// BenchmarkScalingLadder measures the streaming million-node pipeline
+// behind the scaling experiment at one mid-ladder rung per family,
+// inside the streaming-generator regime: generate the graph, encode it
+// to the binary .tgb form, decode it back, and schedule the re-read
+// graph with HLFET (the roster's near-linear representative, heap-
+// driven). Each sub-benchmark also reports the deterministic encoding
+// density (tgb-B/node) and the structural power-law exponent of the
+// encoded size against a rung at v/4 (tgb-slope, ~1.0 = the encoding
+// scales linearly). Part of the tracked benchmark trajectory
+// (scripts/bench.sh, BENCH_5.json).
+func BenchmarkScalingLadder(b *testing.B) {
+	families := []struct {
+		name   string
+		v      int
+		params func(v int) gen.Params
+	}{
+		{"layered", 32000, func(v int) gen.Params {
+			return gen.Params{"v": fmt.Sprint(v), "p": fmt.Sprintf("%g", 4/math.Sqrt(float64(v)))}
+		}},
+		{"erdos", 32000, func(v int) gen.Params {
+			return gen.Params{"v": fmt.Sprint(v), "p": fmt.Sprintf("%g", 8/float64(v-1))}
+		}},
+		{"faninout", 32000, func(v int) gen.Params {
+			return gen.Params{"v": fmt.Sprint(v)}
+		}},
+	}
+	encodedLen := func(fam string, seed int64, params gen.Params) int {
+		g, err := gen.Generate(fam, seed, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := dag.WriteBinary(&buf, g); err != nil {
+			b.Fatal(err)
+		}
+		return buf.Len()
+	}
+	for _, fam := range families {
+		b.Run(fmt.Sprintf("%s-%d", fam.name, fam.v), func(b *testing.B) {
+			small := encodedLen(fam.name, 1998, fam.params(fam.v/4))
+			large := encodedLen(fam.name, 1998, fam.params(fam.v))
+			var buf bytes.Buffer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g, err := gen.Generate(fam.name, 1998, fam.params(fam.v))
+				if err != nil {
+					b.Fatal(err)
+				}
+				buf.Reset()
+				if err := dag.WriteBinary(&buf, g); err != nil {
+					b.Fatal(err)
+				}
+				g2, err := dag.ReadBinary(&buf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ScheduleBNP("HLFET", g2, 32); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(large)/float64(fam.v), "tgb-B/node")
+			b.ReportMetric(math.Log(float64(large)/float64(small))/math.Log(4), "tgb-slope")
+		})
 	}
 }
 

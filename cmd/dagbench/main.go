@@ -4,7 +4,7 @@
 // Usage:
 //
 //	dagbench [-exp id[,id...]] [-scale quick|full] [-seed N] [-workers N]
-//	         [-pair A:B] [-archive dir] [-faults]
+//	         [-pair A:B] [-archive dir] [-faults] [-measure]
 //
 // Experiment ids are table1..table6, fig2..fig4, the extension studies
 // unccs, tdb, genx (the Canon et al. 2019 cross-generator ranking
@@ -12,14 +12,21 @@
 // study on the internal/sim simulator), components (the component
 // attribution of the parameterized scheduler space on homogeneous and
 // heterogeneous machines), adversarial (the PISA-style
-// evolutionary search for counterexample instances), and faults (the
+// evolutionary search for counterexample instances), faults (the
 // fault-injection study of schedule degradation and reactive
-// recovery), or all (the
-// default); a comma-separated list runs several in order, e.g.
-// -exp=table2,table3,genx. Unknown ids fail fast, before anything
+// recovery), and scaling (the empirical-complexity ladder running
+// every generator family from 10^3 up to 10^6 nodes through
+// generation, both exchange encodings, and the algorithm roster), or
+// all (the default); a comma-separated list runs several in order,
+// e.g. -exp=table2,table3,genx. Unknown ids fail fast, before anything
 // runs, with the sorted list of valid names. -exp=list (or help)
 // prints the registry, one id and title per line, sorted by id, and
 // exits.
+//
+// -measure extends the scaling experiment with wall-clock timing,
+// allocation, peak-RSS columns, and fitted time-complexity slopes; it
+// forces a serial run (like table6, concurrent cells would contend).
+// Without it the scaling output is fully deterministic.
 //
 // -pair selects the algorithm pair "A:B" the adversarial experiment
 // compares (default MCP:LAST); the search hunts instances on which B
@@ -51,6 +58,13 @@
 //
 //	dagbench -exp table6 -cpuprofile cpu.out
 //	go tool pprof cpu.out
+//
+// -memprofile pairs with the scaling experiment's peak-RSS column: the
+// rss-MB column (under -measure) reports the OS-level high-water mark
+// per rung, while the heap profile attributes the steady-state live
+// bytes to allocation sites:
+//
+//	dagbench -exp scaling -scale full -measure -memprofile heap.out
 package main
 
 import (
@@ -76,13 +90,14 @@ func main() {
 // run returns the process exit code; it is named so the -memprofile
 // defer can fail the run after the experiments succeed.
 func run() (code int) {
-	exp := flag.String("exp", "all", "experiment id or comma-separated list (table1..table6, fig2..fig4, unccs, tdb, genx, robust, components, adversarial, faults, or all)")
+	exp := flag.String("exp", "all", "experiment id or comma-separated list (table1..table6, fig2..fig4, unccs, tdb, genx, robust, components, adversarial, faults, scaling, or all)")
 	scale := flag.String("scale", "quick", "workload scale: quick or full")
 	seed := flag.Int64("seed", 1998, "random seed for the benchmark suites")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent scheduling cells (<= 0: GOMAXPROCS)")
 	pair := flag.String("pair", "", "algorithm pair \"A:B\" for the adversarial experiment (default MCP:LAST)")
 	archive := flag.String("archive", "", "directory the adversarial experiment archives counterexample fixtures into")
 	faults := flag.Bool("faults", false, "score adversarial candidates on fault-effective makespans (fault-gap objective) instead of static makespans")
+	measure := flag.Bool("measure", false, "add wall-clock timing, allocation, peak-RSS, and time-slope columns to the scaling experiment (forces a serial run)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the experiment runs to this file")
 	flag.Parse()
@@ -136,6 +151,7 @@ func run() (code int) {
 		AdversarialPair:    *pair,
 		AdversarialArchive: *archive,
 		AdversarialFaults:  *faults,
+		ScalingMeasure:     *measure,
 	}
 	switch *scale {
 	case "quick":

@@ -1,17 +1,21 @@
-// Command daggen generates benchmark task graphs in the text exchange
-// format, so they can be inspected with dagview, solved with dagopt, or
-// consumed by external tools.
+// Command daggen generates benchmark task graphs in the text (.tg) or
+// binary (.tgb) exchange format, so they can be inspected with dagview,
+// solved with dagopt, or consumed by external tools.
 //
 // Usage:
 //
 //	daggen -list
-//	daggen -suite <name> [-seed N] [-<param> <value> ...] > g.tg
+//	daggen -suite <name> [-seed N] [-<param> <value> ...] [-format text|tgb] [-o FILE]
 //
 // For example:
 //
 //	daggen -suite rgnos -v 100 -ccr 2 -parallelism 3 > g.tg
 //	daggen -suite lu -n 6 -ccr 0.5                   > g.tg
 //	daggen -suite psg -name kwok-ahmad-9             > g.tg
+//	daggen -suite layered -v 1000000 -o big.tgb
+//
+// -o writes to a file instead of stdout and, when the name ends in
+// .tgb, selects the binary format; an explicit -format always wins.
 //
 // The suite names, their parameter flags, and the usage text are all
 // generated from the generator registry (see the repro package's
@@ -35,6 +39,8 @@ func main() {
 	suite := flag.String("suite", "", "generator name (see -list)")
 	seed := flag.Int64("seed", 1, "random seed")
 	list := flag.Bool("list", false, "list the registered generators and their parameters")
+	format := flag.String("format", "", "output format: text (.tg) or tgb (binary); default text, or inferred from the -o extension")
+	out := flag.String("o", "", "write to this file instead of stdout (a .tgb extension implies -format tgb)")
 
 	// One flag per distinct registry parameter, shared across the suites
 	// that declare it; the help text names the suites using each flag.
@@ -75,8 +81,29 @@ func main() {
 	}
 	st := dag.ComputeStats(g)
 	fmt.Fprintf(os.Stderr, "daggen: %s\n", st)
-	if err := taskgraph.WriteGraph(os.Stdout, g); err != nil {
+
+	write := taskgraph.WriteGraph
+	switch {
+	case *format == "tgb", *format == "" && strings.HasSuffix(*out, ".tgb"):
+		write = taskgraph.WriteGraphBinary
+	case *format != "" && *format != "text":
+		fail(fmt.Errorf("unknown -format %q (want text or tgb)", *format))
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		w = f
+	}
+	if err := write(w, g); err != nil {
 		fail(err)
+	}
+	if *out != "" {
+		if err := w.Close(); err != nil {
+			fail(err)
+		}
 	}
 }
 

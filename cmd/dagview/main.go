@@ -1,7 +1,8 @@
-// Command dagview inspects a task graph stored in the text exchange
-// format: it prints size statistics, levels, the critical path, can
-// export Graphviz dot, and can schedule the graph with any of the 15
-// algorithms to show the resulting timeline.
+// Command dagview inspects a task graph stored in either exchange
+// format (text .tg or binary .tgb, auto-detected): it prints size
+// statistics, levels, the critical path, can export Graphviz dot, and
+// can schedule the graph with any of the 15 algorithms to show the
+// resulting timeline.
 //
 // Usage:
 //
@@ -47,8 +48,12 @@ func main() {
 	}
 
 	lv := taskgraph.ComputeLevels(g)
-	fmt.Printf("nodes=%d edges=%d CCR=%.3f width=%d\n",
-		g.NumNodes(), g.NumEdges(), g.CCR(), taskgraph.Width(g))
+	width := "-" // exact width is O(V·E); skip it on huge graphs
+	if g.NumNodes() <= taskgraph.WidthExactCutoff {
+		width = fmt.Sprint(taskgraph.Width(g))
+	}
+	fmt.Printf("nodes=%d edges=%d CCR=%.3f width=%s\n",
+		g.NumNodes(), g.NumEdges(), g.CCR(), width)
 	fmt.Printf("critical path length=%d path=%v\n", lv.CPLength, taskgraph.CriticalPath(g))
 
 	if *algoName == "" {

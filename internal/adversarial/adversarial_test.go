@@ -353,6 +353,51 @@ func TestFixtureRoundTrip(t *testing.T) {
 	if _, err := ReadFixture(strings.NewReader("# adv bogus x\nnodes 1\nnode 0 1\n")); err == nil {
 		t.Error("fixture with unknown header key accepted")
 	}
+
+	// The binary encoding round-trips the same fixture: the provenance
+	// header rides in the .tgb meta string and ReadFixture detects the
+	// magic.
+	var bin bytes.Buffer
+	if err := WriteFixtureBinary(&bin, in); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= buf.Len() {
+		t.Errorf("binary fixture (%d bytes) not smaller than text fixture (%d bytes)", bin.Len(), buf.Len())
+	}
+	bout, err := ReadFixture(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatalf("re-reading binary fixture: %v", err)
+	}
+	if bout.AlgA != in.AlgA || bout.AlgB != in.AlgB || bout.Procs != in.Procs ||
+		bout.Family != in.Family || bout.Seed != in.Seed || bout.Objective != in.Objective ||
+		bout.LenA != in.LenA || bout.LenB != in.LenB || bout.MinGap != in.MinGap {
+		t.Errorf("binary fixture lost provenance: %+v", bout)
+	}
+	if bout.G.NumNodes() != 2 || bout.G.NumEdges() != 1 || bout.G.Label(0) != "entry" {
+		t.Errorf("binary fixture lost the graph: %d nodes %d edges label %q",
+			bout.G.NumNodes(), bout.G.NumEdges(), bout.G.Label(0))
+	}
+
+	// A binary fixture is also a plain .tgb file.
+	if _, err := dag.ReadAny(bytes.NewReader(bin.Bytes())); err != nil {
+		t.Errorf("binary fixture is not a valid plain .tgb file: %v", err)
+	}
+
+	// LoadFixtures picks up both encodings.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.tg"), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "b.tgb"), bin.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFixtures(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 2 || loaded["a.tg"] == nil || loaded["b.tgb"] == nil {
+		t.Errorf("LoadFixtures found %d fixtures, want a.tg and b.tgb", len(loaded))
+	}
 }
 
 // TestArchive pins the archiver: top-K positive-gap candidates become

@@ -25,6 +25,12 @@ import (
 // Regression tests re-run the pair on the stored graph and assert the
 // gap's sign and lower bound, making each searched finding a permanent
 // tier-1 test.
+//
+// Fixtures also exist in the binary container: a .tgb file whose meta
+// string holds the same "# adv" header lines. ReadFixture sniffs the
+// magic and accepts either form; WriteFixtureBinary produces the
+// binary one. Such a fixture is equally a plain .tgb file for every
+// dag.ReadAny consumer.
 
 // Fixture is one archived counterexample instance.
 type Fixture struct {
@@ -54,38 +60,61 @@ type Fixture struct {
 // Gap returns the fixture's recorded relative makespan gap.
 func (f *Fixture) Gap() float64 { return GapObjective{}.Score(f.LenA, f.LenB) }
 
+// fixtureHeader renders the "# adv" provenance lines shared by both
+// fixture encodings.
+func fixtureHeader(f *Fixture) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# adversarial counterexample: %s beats %s on this instance\n", f.AlgB, f.AlgA)
+	fmt.Fprintf(&sb, "# adv pair %s %s\n", f.AlgA, f.AlgB)
+	fmt.Fprintf(&sb, "# adv procs %d\n", f.Procs)
+	fmt.Fprintf(&sb, "# adv family %s\n", f.Family)
+	fmt.Fprintf(&sb, "# adv params %s\n", gen.CanonicalParams(f.Params))
+	fmt.Fprintf(&sb, "# adv seed %d\n", f.Seed)
+	fmt.Fprintf(&sb, "# adv perturb %s %d\n", gen.FormatFloatParam(f.Perturb), f.PerturbSeed)
+	fmt.Fprintf(&sb, "# adv lengths %d %d\n", f.LenA, f.LenB)
+	fmt.Fprintf(&sb, "# adv mingap %s\n", gen.FormatFloatParam(f.MinGap))
+	if f.Objective != "" && f.Objective != "gap" {
+		fmt.Fprintf(&sb, "# adv objective %s\n", f.Objective)
+	}
+	return sb.String()
+}
+
 // WriteFixture serializes a fixture: the provenance header followed by
 // the graph in the .tg text format.
 func WriteFixture(w io.Writer, f *Fixture) error {
-	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "# adversarial counterexample: %s beats %s on this instance\n", f.AlgB, f.AlgA)
-	fmt.Fprintf(bw, "# adv pair %s %s\n", f.AlgA, f.AlgB)
-	fmt.Fprintf(bw, "# adv procs %d\n", f.Procs)
-	fmt.Fprintf(bw, "# adv family %s\n", f.Family)
-	fmt.Fprintf(bw, "# adv params %s\n", gen.CanonicalParams(f.Params))
-	fmt.Fprintf(bw, "# adv seed %d\n", f.Seed)
-	fmt.Fprintf(bw, "# adv perturb %s %d\n", gen.FormatFloatParam(f.Perturb), f.PerturbSeed)
-	fmt.Fprintf(bw, "# adv lengths %d %d\n", f.LenA, f.LenB)
-	fmt.Fprintf(bw, "# adv mingap %s\n", gen.FormatFloatParam(f.MinGap))
-	if f.Objective != "" && f.Objective != "gap" {
-		fmt.Fprintf(bw, "# adv objective %s\n", f.Objective)
-	}
-	if err := bw.Flush(); err != nil {
+	if _, err := io.WriteString(w, fixtureHeader(f)); err != nil {
 		return err
 	}
 	return dag.WriteText(w, f.G)
 }
 
-// ReadFixture parses a fixture written by WriteFixture: the "# adv"
-// header lines plus the graph body (which ReadText parses, ignoring
-// the comments).
+// WriteFixtureBinary serializes a fixture as a .tgb file carrying the
+// provenance header in the binary container's meta string.
+func WriteFixtureBinary(w io.Writer, f *Fixture) error {
+	return dag.WriteBinaryMeta(w, f.G, fixtureHeader(f))
+}
+
+// ReadFixture parses a fixture in either encoding: the text form
+// written by WriteFixture ("# adv" header lines plus the graph body,
+// which ReadText parses, ignoring the comments) or the binary form
+// written by WriteFixtureBinary (detected by the .tgb magic; the
+// header lines come from the container's meta string).
 func ReadFixture(r io.Reader) (*Fixture, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
 	}
+	header := data
+	var g *dag.Graph
+	if bytes.HasPrefix(data, []byte(dag.BinaryMagic)) {
+		var meta string
+		if g, meta, err = dag.ReadBinaryMeta(bytes.NewReader(data)); err != nil {
+			return nil, err
+		}
+		header = []byte(meta)
+	}
 	f := &Fixture{}
-	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc := bufio.NewScanner(bytes.NewReader(header))
 	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
@@ -145,10 +174,12 @@ func ReadFixture(r io.Reader) (*Fixture, error) {
 	if f.Procs < 1 {
 		return nil, fmt.Errorf("adversarial: fixture is missing the '# adv procs' header")
 	}
-	f.G, err = dag.ReadText(bytes.NewReader(data))
-	if err != nil {
-		return nil, err
+	if g == nil {
+		if g, err = dag.ReadText(bytes.NewReader(data)); err != nil {
+			return nil, err
+		}
 	}
+	f.G = g
 	return f, nil
 }
 
@@ -225,12 +256,18 @@ func floorGap(gap float64) float64 {
 	return floored
 }
 
-// LoadFixtures reads every .tg fixture under dir, sorted by file name.
+// LoadFixtures reads every .tg and .tgb fixture under dir, sorted by
+// file name.
 func LoadFixtures(dir string) (map[string]*Fixture, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, "*.tg"))
 	if err != nil {
 		return nil, err
 	}
+	binPaths, err := filepath.Glob(filepath.Join(dir, "*.tgb"))
+	if err != nil {
+		return nil, err
+	}
+	paths = append(paths, binPaths...)
 	sort.Strings(paths)
 	out := map[string]*Fixture{}
 	for _, path := range paths {

@@ -19,7 +19,7 @@ import (
 // List schedulers pop nodes from it in priority order and feed newly
 // released children back in.
 type ReadySet struct {
-	remaining []int // unscheduled parent count per node
+	remaining []int32 // unscheduled parent count per node
 	ready     []dag.NodeID
 	pos       []int32 // node -> index in ready, -1 when not ready
 }
@@ -39,12 +39,12 @@ func (r *ReadySet) Reset(g *dag.Graph) {
 		r.remaining = r.remaining[:n]
 		r.pos = r.pos[:n]
 	} else {
-		r.remaining = make([]int, n)
+		r.remaining = make([]int32, n)
 		r.pos = make([]int32, n)
 	}
 	r.ready = r.ready[:0]
 	for v := 0; v < n; v++ {
-		r.remaining[v] = g.InDegree(dag.NodeID(v))
+		r.remaining[v] = int32(g.InDegree(dag.NodeID(v)))
 		r.pos[v] = -1
 		if r.remaining[v] == 0 {
 			r.pos[v] = int32(len(r.ready))

@@ -12,7 +12,9 @@ import (
 // Priorities are static levels (b-levels with communication ignored).
 // At each step the ready node with the highest static level is scheduled
 // onto the processor that allows its earliest start time, without
-// insertion. Complexity O(v^2) for the list plus O(v·p) placements.
+// insertion. The static priorities let a ReadyHeap drive the list in
+// O((v+e)·log v) + O(v·p) placements, so HLFET stays near-linear even
+// on million-node graphs.
 func HLFET(g *dag.Graph, numProcs int) (*sched.Schedule, error) {
 	return runBNP(g, numProcs, nil, runHLFET)
 }
@@ -21,12 +23,10 @@ func HLFET(g *dag.Graph, numProcs int) (*sched.Schedule, error) {
 func runHLFET(g *dag.Graph, s *sched.Schedule) {
 	sc := acquireScratch(g)
 	defer sc.release()
-	sl := sc.lv.Static
-	ready := algo.AcquireReadySet(g)
+	ready := algo.AcquireReadyHeap(g, sc.lv.Static)
 	defer ready.Release()
 	for !ready.Empty() {
-		n := algo.MaxBy(ready.Ready(), func(n dag.NodeID) int64 { return sl[n] })
-		ready.Pop(n)
+		n := ready.PopMax()
 		p, est, ok := s.BestEST(n, false)
 		if !ok {
 			panic("bnp: HLFET popped node with unscheduled parent")

@@ -1,0 +1,134 @@
+package algo
+
+import (
+	"sync"
+
+	"repro/internal/dag"
+)
+
+// ReadyHeap is the ready set for list schedulers whose priorities are
+// fixed before the loop starts (static regimes such as HLFET). It pops
+// the maximum-priority ready node in O(log w) instead of the O(w)
+// linear scan a ReadySet plus MaxBy costs per step, where w is the
+// ready width. The order is the exact total order MaxBy uses —
+// priority descending, ties toward the smaller node ID — so replacing
+// a MaxBy scan with a ReadyHeap changes the pop sequence of no graph:
+// on wide instances (many thousands of simultaneously ready nodes) the
+// scan dominates the whole scheduler and the heap turns the list phase
+// from O(v·w) into O((v+e)·log w).
+type ReadyHeap struct {
+	prio      []int64 // node -> fixed priority, aliased from the caller
+	remaining []int32 // unscheduled parent count per node
+	heap      []dag.NodeID
+}
+
+// NewReadyHeap returns a ready heap holding the entry nodes of g,
+// ordered by prio (which must have one entry per node and stay
+// unchanged while the heap is in use).
+func NewReadyHeap(g *dag.Graph, prio []int64) *ReadyHeap {
+	r := &ReadyHeap{}
+	r.Reset(g, prio)
+	return r
+}
+
+// Reset reinitializes the heap to the entry nodes of g under prio,
+// reusing the backing arrays when they are large enough.
+func (r *ReadyHeap) Reset(g *dag.Graph, prio []int64) {
+	n := g.NumNodes()
+	r.prio = prio
+	if cap(r.remaining) >= n {
+		r.remaining = r.remaining[:n]
+	} else {
+		r.remaining = make([]int32, n)
+	}
+	r.heap = r.heap[:0]
+	for v := 0; v < n; v++ {
+		r.remaining[v] = int32(g.InDegree(dag.NodeID(v)))
+		if r.remaining[v] == 0 {
+			r.push(dag.NodeID(v))
+		}
+	}
+}
+
+// readyHeapPool recycles ReadyHeaps between AcquireReadyHeap and
+// Release so steady-state runs do not reallocate the arrays.
+var readyHeapPool = sync.Pool{New: func() any { return new(ReadyHeap) }}
+
+// AcquireReadyHeap returns a ready heap for g from the pool.
+func AcquireReadyHeap(g *dag.Graph, prio []int64) *ReadyHeap {
+	r := readyHeapPool.Get().(*ReadyHeap)
+	r.Reset(g, prio)
+	return r
+}
+
+// Release returns the heap to the pool and drops its priority alias.
+// The caller must not use r afterwards.
+func (r *ReadyHeap) Release() {
+	r.prio = nil
+	readyHeapPool.Put(r)
+}
+
+// Empty reports whether no node is ready.
+func (r *ReadyHeap) Empty() bool { return len(r.heap) == 0 }
+
+// Len returns the number of ready nodes.
+func (r *ReadyHeap) Len() int { return len(r.heap) }
+
+// before reports whether a pops before b: higher priority first, ties
+// toward the smaller node ID — MaxBy's total order.
+func (r *ReadyHeap) before(a, b dag.NodeID) bool {
+	pa, pb := r.prio[a], r.prio[b]
+	return pa > pb || (pa == pb && a < b)
+}
+
+// push adds n and restores the heap invariant bottom-up.
+func (r *ReadyHeap) push(n dag.NodeID) {
+	r.heap = append(r.heap, n)
+	i := len(r.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !r.before(r.heap[i], r.heap[parent]) {
+			break
+		}
+		r.heap[i], r.heap[parent] = r.heap[parent], r.heap[i]
+		i = parent
+	}
+}
+
+// PopMax removes and returns the ready node that MaxBy would select:
+// maximum priority, ties broken toward the smaller ID. It panics on an
+// empty heap, which would indicate a scheduler bug.
+func (r *ReadyHeap) PopMax() dag.NodeID {
+	top := r.heap[0]
+	last := len(r.heap) - 1
+	r.heap[0] = r.heap[last]
+	r.heap = r.heap[:last]
+	i := 0
+	for {
+		l, rt := 2*i+1, 2*i+2
+		best := i
+		if l < last && r.before(r.heap[l], r.heap[best]) {
+			best = l
+		}
+		if rt < last && r.before(r.heap[rt], r.heap[best]) {
+			best = rt
+		}
+		if best == i {
+			break
+		}
+		r.heap[i], r.heap[best] = r.heap[best], r.heap[i]
+		i = best
+	}
+	return top
+}
+
+// MarkScheduled records that n (previously popped) has been scheduled
+// and pushes any children that became ready.
+func (r *ReadyHeap) MarkScheduled(g *dag.Graph, n dag.NodeID) {
+	for _, a := range g.Succs(n) {
+		r.remaining[a.To]--
+		if r.remaining[a.To] == 0 {
+			r.push(a.To)
+		}
+	}
+}

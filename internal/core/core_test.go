@@ -85,10 +85,10 @@ func TestBNPProcs(t *testing.T) {
 
 func TestExperimentsRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 16 {
-		t.Fatalf("%d experiments, want 16 (6 tables + 3 figures + 7 extensions)", len(exps))
+	if len(exps) != 17 {
+		t.Fatalf("%d experiments, want 17 (6 tables + 3 figures + 8 extensions)", len(exps))
 	}
-	want := []string{"table1", "table2", "table3", "table4", "table5", "table6", "fig2", "fig3", "fig4", "unccs", "tdb", "genx", "robust", "components", "adversarial", "faults"}
+	want := []string{"table1", "table2", "table3", "table4", "table5", "table6", "fig2", "fig3", "fig4", "unccs", "tdb", "genx", "robust", "components", "adversarial", "faults", "scaling"}
 	for i, e := range exps {
 		if e.ID != want[i] {
 			t.Errorf("experiment %d = %s, want %s", i, e.ID, want[i])

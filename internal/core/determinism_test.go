@@ -42,11 +42,14 @@ func TestExperimentsDeterministic(t *testing.T) {
 	// faults is seed-deterministic too (its own test pins that at three
 	// worker counts) but costs ~10s per run, so it skips the extra
 	// serial repeat here.
-	cheap := map[string]bool{"table1": true, "table4": true, "table5": true, "fig4": true, "tdb": true, "genx": true, "robust": true, "components": true, "adversarial": true}
+	cheap := map[string]bool{"table1": true, "table4": true, "table5": true, "fig4": true, "tdb": true, "genx": true, "robust": true, "components": true, "adversarial": true, "scaling": true}
 	// The branch-and-bound and full-suite sweeps dominate the package's
 	// test time; under -short (e.g. the -race CI job) only the cheap
 	// experiments run.
-	heavy := map[string]bool{"table2": true, "table3": true, "table6": true, "fig2": true, "unccs": true}
+	// scaling is both: its determinism is triple-checked in normal runs
+	// but skipped under -short (the quick ladder still schedules ~150
+	// cells; the CI scaling smoke job covers the workers diff there).
+	heavy := map[string]bool{"table2": true, "table3": true, "table6": true, "fig2": true, "unccs": true, "scaling": true}
 	for _, e := range Experiments() {
 		t.Run(e.ID, func(t *testing.T) {
 			if testing.Short() && heavy[e.ID] {

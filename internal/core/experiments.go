@@ -49,6 +49,14 @@ type Config struct {
 	// into (.tg files with provenance headers).
 	AdversarialArchive string
 
+	// ScalingMeasure adds wall-clock timing, allocation, peak-RSS, and
+	// fitted time-slope columns to the scaling experiment's output.
+	// Measured mode forces a serial run (concurrent cells would contend
+	// for cores and memory bandwidth, like Table 6's timing cells) and
+	// its clock-derived columns vary run to run; with it off the
+	// experiment's output is fully deterministic.
+	ScalingMeasure bool
+
 	// AdversarialFaults switches the adversarial experiment to the
 	// fault-gap objective: candidates are scored on fault-effective
 	// makespans measured under the canonical fault scenario (see
@@ -88,6 +96,7 @@ func Experiments() []Experiment {
 		{"components", "Extension (Coleman et al. 2024): component attribution over the parameterized scheduler space, homogeneous and heterogeneous", Components},
 		{"adversarial", "Extension (PISA): adversarial evolutionary search for instances where one algorithm beats another", Adversarial},
 		{"faults", "Extension (fault injection): graceful degradation of static schedules under processor and link failures, with reactive recovery", Faults},
+		{"scaling", "Extension (million-node scale): empirical complexity of generation, binary encoding, and scheduling up a 10^3..10^6 ladder", Scaling},
 	}
 }
 

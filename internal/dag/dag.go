@@ -18,6 +18,7 @@ package dag
 import (
 	"errors"
 	"fmt"
+	"slices"
 )
 
 // NodeID identifies a node within one Graph. IDs are dense: a graph with
@@ -64,7 +65,13 @@ func (g *Graph) NumEdges() int { return g.numEdges }
 func (g *Graph) Weight(n NodeID) int64 { return g.weight[n] }
 
 // Label returns the optional human-readable label of node n ("" if unset).
-func (g *Graph) Label(n NodeID) string { return g.label[n] }
+// Graphs without any labels keep no per-node label storage at all.
+func (g *Graph) Label(n NodeID) string {
+	if g.label == nil {
+		return ""
+	}
+	return g.label[n]
+}
 
 // Succs returns the successor arcs of n. The returned slice is shared
 // with the graph and must not be modified.
@@ -177,7 +184,7 @@ func (g *Graph) CCR() float64 {
 // deserialized graphs and for use in tests.
 func (g *Graph) Validate() error {
 	n := g.NumNodes()
-	if len(g.label) != n {
+	if g.label != nil && len(g.label) != n {
 		return errors.New("dag: inconsistent slice lengths")
 	}
 	if n > 0 && (len(g.succOff) != n+1 || len(g.predOff) != n+1) {
@@ -227,39 +234,75 @@ func reverseLookup(arcs []Arc, from NodeID) (int64, bool) {
 
 // Builder accumulates nodes and edges and produces an immutable Graph.
 // The zero value is ready to use.
+//
+// Internally the builder is an arena: edges append to three flat parallel
+// arrays (source, target, weight) and Build scatters them into the CSR
+// backing arrays with two stable counting sorts. Nothing is allocated per
+// node or per edge beyond amortized slice growth, so generators and
+// parsers can stream millions of arcs through without intermediate maps
+// or slice-of-slice adjacency. Grow pre-sizes the arena when the caller
+// knows the instance size up front.
 type Builder struct {
 	weight []int64
-	label  []string
-	succs  [][]Arc
-	preds  [][]Arc
-	edges  int
+	label  []string // nil until the first non-empty label
+	efrom  []int32
+	eto    []int32
+	ew     []int64
 	err    error
 }
 
 // NewBuilder returns an empty Builder.
 func NewBuilder() *Builder { return &Builder{} }
 
+// Grow preallocates capacity for at least nodes additional nodes and
+// edges additional edges, so that streaming generators of known size
+// fill the arena without reallocation.
+func (b *Builder) Grow(nodes, edges int) {
+	if nodes > 0 {
+		b.weight = slices.Grow(b.weight, nodes)
+		if b.label != nil {
+			b.label = slices.Grow(b.label, nodes)
+		}
+	}
+	if edges > 0 {
+		b.efrom = slices.Grow(b.efrom, edges)
+		b.eto = slices.Grow(b.eto, edges)
+		b.ew = slices.Grow(b.ew, edges)
+	}
+}
+
 // AddNode adds a task with the given computation cost and returns its ID.
 // Negative costs are recorded as a build error reported by Build.
 func (b *Builder) AddNode(weight int64) NodeID {
-	return b.AddLabeledNode(weight, "")
-}
-
-// AddLabeledNode adds a task with a computation cost and a label.
-func (b *Builder) AddLabeledNode(weight int64, label string) NodeID {
 	if weight < 0 && b.err == nil {
 		b.err = fmt.Errorf("dag: node %d has negative cost %d", len(b.weight), weight)
 	}
 	b.weight = append(b.weight, weight)
-	b.label = append(b.label, label)
-	b.succs = append(b.succs, nil)
-	b.preds = append(b.preds, nil)
+	if b.label != nil {
+		b.label = append(b.label, "")
+	}
 	return NodeID(len(b.weight) - 1)
 }
 
+// AddLabeledNode adds a task with a computation cost and a label.
+func (b *Builder) AddLabeledNode(weight int64, label string) NodeID {
+	if label == "" {
+		return b.AddNode(weight)
+	}
+	if b.label == nil {
+		// First labeled node: materialize the label column lazily so
+		// unlabeled graphs never pay for per-node strings.
+		b.label = make([]string, len(b.weight), cap(b.weight))
+	}
+	id := b.AddNode(weight)
+	b.label[id] = label
+	return id
+}
+
 // AddEdge adds a precedence edge from one task to another with the given
-// communication cost. Invalid endpoints, self-loops, duplicate edges, and
-// negative costs are recorded as build errors reported by Build.
+// communication cost. Invalid endpoints, self-loops, and negative costs
+// are recorded immediately; duplicate edges are detected during Build's
+// grouping pass. All such errors are reported by Build.
 func (b *Builder) AddEdge(from, to NodeID, weight int64) {
 	if b.err != nil {
 		return
@@ -273,41 +316,71 @@ func (b *Builder) AddEdge(from, to NodeID, weight int64) {
 	case weight < 0:
 		b.err = fmt.Errorf("dag: edge (%d,%d) has negative cost %d", from, to, weight)
 	default:
-		if _, dup := reverseLookup(b.succs[from], to); dup {
-			b.err = fmt.Errorf("dag: duplicate edge (%d,%d)", from, to)
-			return
-		}
-		b.succs[from] = append(b.succs[from], Arc{To: to, Weight: weight})
-		b.preds[to] = append(b.preds[to], Arc{To: from, Weight: weight})
-		b.edges++
+		b.efrom = append(b.efrom, int32(from))
+		b.eto = append(b.eto, int32(to))
+		b.ew = append(b.ew, weight)
 	}
 }
 
 // NumNodes returns the number of nodes added so far.
 func (b *Builder) NumNodes() int { return len(b.weight) }
 
-// Build finalizes the graph, flattening the per-node adjacency lists
-// into the CSR backing arrays. It fails if any recorded construction
-// error exists or if the edges form a cycle.
+// Build finalizes the graph, scattering the flat edge arena into the CSR
+// backing arrays with two stable counting sorts (by source for successor
+// lists, by target for predecessor lists). Stability preserves per-node
+// insertion order, so the resulting adjacency is byte-identical to
+// appending into per-node lists. It fails if any recorded construction
+// error exists, if an edge was added twice, or if the edges form a cycle.
 func (b *Builder) Build() (*Graph, error) {
 	if b.err != nil {
 		return nil, b.err
 	}
 	n := len(b.weight)
+	m := len(b.efrom)
+	// One allocation backs both arc arrays and one both offset rows.
+	arcs := make([]Arc, 2*m)
+	offs := make([]int32, 2*(n+1))
 	g := &Graph{
 		weight:   b.weight,
 		label:    b.label,
-		succOff:  make([]int32, n+1),
-		predOff:  make([]int32, n+1),
-		succArcs: make([]Arc, 0, b.edges),
-		predArcs: make([]Arc, 0, b.edges),
-		numEdges: b.edges,
+		succArcs: arcs[:m:m],
+		predArcs: arcs[m:],
+		succOff:  offs[: n+1 : n+1],
+		predOff:  offs[n+1:],
+		numEdges: m,
 	}
-	for v := 0; v < n; v++ {
-		g.succArcs = append(g.succArcs, b.succs[v]...)
-		g.succOff[v+1] = int32(len(g.succArcs))
-		g.predArcs = append(g.predArcs, b.preds[v]...)
-		g.predOff[v+1] = int32(len(g.predArcs))
+	cursor := make([]int32, n)
+	scatter := func(key []int32, off []int32, dst []Arc, other []int32) {
+		for _, k := range key {
+			off[k+1]++
+		}
+		for v := 0; v < n; v++ {
+			off[v+1] += off[v]
+		}
+		copy(cursor, off[:n])
+		for i, k := range key {
+			p := cursor[k]
+			cursor[k] = p + 1
+			dst[p] = Arc{To: NodeID(other[i]), Weight: b.ew[i]}
+		}
+	}
+	scatter(b.efrom, g.succOff, g.succArcs, b.eto)
+	scatter(b.eto, g.predOff, g.predArcs, b.efrom)
+	// Duplicate detection: successor lists are now grouped by source, so
+	// an epoch-marked scratch array finds repeats in one O(V+E) sweep.
+	if m > 0 {
+		mark := cursor
+		for i := range mark {
+			mark[i] = -1
+		}
+		for u := 0; u < n; u++ {
+			for _, a := range g.Succs(NodeID(u)) {
+				if mark[a.To] == int32(u) {
+					return nil, fmt.Errorf("dag: duplicate edge (%d,%d)", u, a.To)
+				}
+				mark[a.To] = int32(u)
+			}
+		}
 	}
 	topo, err := topoSort(g)
 	if err != nil {
@@ -315,8 +388,7 @@ func (b *Builder) Build() (*Graph, error) {
 	}
 	g.topo = topo
 	// Detach the builder so further mutation cannot alias the graph.
-	b.weight, b.label, b.succs, b.preds = nil, nil, nil, nil
-	b.edges = 0
+	b.weight, b.label, b.efrom, b.eto, b.ew = nil, nil, nil, nil, nil
 	return g, nil
 }
 
@@ -336,27 +408,26 @@ var ErrCycle = errors.New("dag: graph contains a cycle")
 // smaller IDs first so the order is deterministic.
 func topoSort(g *Graph) ([]NodeID, error) {
 	n := g.NumNodes()
-	indeg := make([]int, n)
+	indeg := make([]int32, n)
 	for v := 0; v < n; v++ {
-		indeg[v] = g.InDegree(NodeID(v))
+		indeg[v] = int32(g.InDegree(NodeID(v)))
 	}
 	// A simple FIFO queue seeded in ID order gives a stable order without
-	// the cost of a priority queue; determinism is what matters here.
-	queue := make([]NodeID, 0, n)
+	// the cost of a priority queue; determinism is what matters here. The
+	// order slice doubles as the queue (consumed entries are never
+	// revisited), so the sort needs only one V-sized scratch array.
+	order := make([]NodeID, 0, n)
 	for v := 0; v < n; v++ {
 		if indeg[v] == 0 {
-			queue = append(queue, NodeID(v))
+			order = append(order, NodeID(v))
 		}
 	}
-	order := make([]NodeID, 0, n)
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		order = append(order, v)
+	for head := 0; head < len(order); head++ {
+		v := order[head]
 		for _, a := range g.Succs(v) {
 			indeg[a.To]--
 			if indeg[a.To] == 0 {
-				queue = append(queue, a.To)
+				order = append(order, a.To)
 			}
 		}
 	}

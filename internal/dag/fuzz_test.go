@@ -48,3 +48,91 @@ func FuzzTGRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzTGBRoundTrip feeds arbitrary bytes to the .tgb binary parser.
+// Malformed input must produce an error, never a panic or an oversized
+// allocation; input the parser accepts must satisfy the DAG invariants,
+// serialize back through WriteBinaryMeta to a byte stream the parser
+// maps to the same graph (ReadBinary∘WriteBinary is a fixed point past
+// the first serialization), and agree with the text format's canonical
+// form in both directions.
+func FuzzTGBRoundTrip(f *testing.F) {
+	// Seed with real encodings plus headers that probe the guards.
+	for _, g := range fuzzSeedGraphs() {
+		var buf bytes.Buffer
+		if err := WriteBinaryMeta(&buf, g, "# adv seed\n"); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(BinaryMagic))
+	f.Add([]byte(BinaryMagic + "\x01\x01\x00\x07\x00\x01\x00\x03"))
+	f.Add([]byte(BinaryMagic + "\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+	f.Add([]byte("nodes 1\nnode 0 5\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, meta, err := ReadBinaryMeta(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting malformed input is the expected path
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		var first bytes.Buffer
+		if err := WriteBinaryMeta(&first, g, meta); err != nil {
+			t.Fatalf("serializing accepted graph: %v", err)
+		}
+		g2, meta2, err := ReadBinaryMeta(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parsing serialized graph: %v", err)
+		}
+		if meta2 != meta {
+			t.Fatalf("metadata changed: %q -> %q", meta, meta2)
+		}
+		var second bytes.Buffer
+		if err := WriteBinaryMeta(&second, g2, meta2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("binary round trip is not a fixed point")
+		}
+		// Cross-format: canonical text form survives a binary hop.
+		var t1, t2 bytes.Buffer
+		if err := WriteText(&t1, g); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteText(&t2, g2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(t1.Bytes(), t2.Bytes()) {
+			t.Fatalf("text form changed across binary round trip")
+		}
+		gt, err := ReadText(bytes.NewReader(t1.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical text form of accepted binary graph rejected: %v", err)
+		}
+		if gt.NumNodes() != g.NumNodes() || gt.NumEdges() != g.NumEdges() {
+			t.Fatalf("text hop changed size: %d/%d nodes, %d/%d edges",
+				g.NumNodes(), gt.NumNodes(), g.NumEdges(), gt.NumEdges())
+		}
+	})
+}
+
+func fuzzSeedGraphs() []*Graph {
+	var graphs []*Graph
+	empty := NewBuilder()
+	graphs = append(graphs, empty.MustBuild())
+	chain := NewBuilder()
+	a := chain.AddLabeledNode(3, "entry")
+	b := chain.AddNode(5)
+	c := chain.AddLabeledNode(2, "exit")
+	chain.AddEdge(a, b, 4)
+	chain.AddEdge(b, c, 1)
+	graphs = append(graphs, chain.MustBuild())
+	fan := NewBuilder()
+	root := fan.AddNode(1)
+	for i := 0; i < 6; i++ {
+		fan.AddEdge(root, fan.AddNode(int64(i)), int64(10*i))
+	}
+	graphs = append(graphs, fan.MustBuild())
+	return graphs
+}

@@ -19,33 +19,70 @@ import (
 // Node lines must precede edge lines that use them; the "nodes" header is
 // optional and, when present, must match the number of node lines.
 
-// WriteText writes the graph in the text exchange format.
+// WriteText writes the graph in the text exchange format. Lines are
+// formatted into a reused scratch buffer with strconv appends rather
+// than fmt, and flushed through one buffered writer, so serializing a
+// large graph costs O(1) allocations and O(size/64KiB) syscalls.
 func WriteText(w io.Writer, g *Graph) error {
-	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "nodes %d\n", g.NumNodes())
+	bw := bufio.NewWriterSize(w, 64*1024)
+	var scratch [64]byte
+	buf := append(scratch[:0], "nodes "...)
+	buf = strconv.AppendInt(buf, int64(g.NumNodes()), 10)
+	buf = append(buf, '\n')
+	bw.Write(buf)
 	for v := 0; v < g.NumNodes(); v++ {
+		buf = append(scratch[:0], "node "...)
+		buf = strconv.AppendInt(buf, int64(v), 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, g.Weight(NodeID(v)), 10)
 		if lbl := g.Label(NodeID(v)); lbl != "" {
-			fmt.Fprintf(bw, "node %d %d %s\n", v, g.Weight(NodeID(v)), lbl)
-		} else {
-			fmt.Fprintf(bw, "node %d %d\n", v, g.Weight(NodeID(v)))
+			buf = append(buf, ' ')
+			bw.Write(buf)
+			bw.WriteString(lbl)
+			bw.WriteByte('\n')
+			continue
 		}
+		buf = append(buf, '\n')
+		bw.Write(buf)
 	}
 	for v := 0; v < g.NumNodes(); v++ {
 		for _, a := range g.Succs(NodeID(v)) {
-			fmt.Fprintf(bw, "edge %d %d %d\n", v, a.To, a.Weight)
+			buf = append(scratch[:0], "edge "...)
+			buf = strconv.AppendInt(buf, int64(v), 10)
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, int64(a.To), 10)
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, a.Weight, 10)
+			buf = append(buf, '\n')
+			bw.Write(buf)
 		}
 	}
 	return bw.Flush()
 }
 
 // ReadText parses a graph from the text exchange format.
+//
+// Node IDs in the file are arbitrary; they are renumbered densely in
+// declaration order. Files whose IDs are already dense and sequential
+// (the form WriteText emits) are mapped with plain index arithmetic; a
+// lookup map is materialized only when an out-of-sequence ID appears.
 func ReadText(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
 	b := NewBuilder()
 	declared := -1
 	line := 0
-	ids := map[int]NodeID{}
+	var ids map[int]NodeID // nil while file IDs are exactly 0,1,2,...
+	lookup := func(id int) (NodeID, bool) {
+		if ids == nil {
+			if id >= 0 && id < b.NumNodes() {
+				return NodeID(id), true
+			}
+			return 0, false
+		}
+		v, ok := ids[id]
+		return v, ok
+	}
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
@@ -63,6 +100,9 @@ func ReadText(r io.Reader) (*Graph, error) {
 				return nil, fmt.Errorf("dag: line %d: bad node count %q", line, fields[1])
 			}
 			declared = n
+			if n <= binPrealloc {
+				b.Grow(n-b.NumNodes(), 0)
+			}
 		case "node":
 			if len(fields) < 3 || len(fields) > 4 {
 				return nil, fmt.Errorf("dag: line %d: node wants id, weight, [label]", line)
@@ -72,14 +112,25 @@ func ReadText(r io.Reader) (*Graph, error) {
 			if err1 != nil || err2 != nil {
 				return nil, fmt.Errorf("dag: line %d: bad node line %q", line, text)
 			}
-			if _, dup := ids[id]; dup {
+			if _, dup := lookup(id); dup {
 				return nil, fmt.Errorf("dag: line %d: duplicate node id %d", line, id)
 			}
 			label := ""
 			if len(fields) == 4 {
 				label = fields[3]
 			}
-			ids[id] = b.AddLabeledNode(w, label)
+			if ids == nil && id != b.NumNodes() {
+				// First out-of-sequence ID: fall back to mapped lookup
+				// for the nodes seen so far (all dense by construction).
+				ids = make(map[int]NodeID, b.NumNodes()+1)
+				for v := 0; v < b.NumNodes(); v++ {
+					ids[v] = NodeID(v)
+				}
+			}
+			n := b.AddLabeledNode(w, label)
+			if ids != nil {
+				ids[id] = n
+			}
 		case "edge":
 			if len(fields) != 4 {
 				return nil, fmt.Errorf("dag: line %d: edge wants from, to, weight", line)
@@ -90,8 +141,8 @@ func ReadText(r io.Reader) (*Graph, error) {
 			if err1 != nil || err2 != nil || err3 != nil {
 				return nil, fmt.Errorf("dag: line %d: bad edge line %q", line, text)
 			}
-			u, ok1 := ids[from]
-			v, ok2 := ids[to]
+			u, ok1 := lookup(from)
+			v, ok2 := lookup(to)
 			if !ok1 || !ok2 {
 				return nil, fmt.Errorf("dag: line %d: edge references undeclared node", line)
 			}

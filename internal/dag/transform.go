@@ -49,12 +49,19 @@ type Stats struct {
 	Entries, Exits     int
 	MaxIn, MaxOut      int
 	Depth              int // nodes on the longest path (ignoring weights)
-	Width              int // maximum antichain
+	Width              int // maximum antichain; -1 when skipped (see WidthExactCutoff)
 	CPLength           int64
 	TotalComputation   int64
 	TotalCommunication int64
 	CCR                float64
 }
+
+// WidthExactCutoff is the largest node count for which ComputeStats
+// computes the exact width. Width's transitive-closure bitsets cost
+// O(n²/8) bytes — a terabyte at a million nodes — so past the cutoff
+// ComputeStats reports Width as -1 (rendered "-") instead; every other
+// statistic is O(V+E) and always computed.
+const WidthExactCutoff = 10000
 
 // ComputeStats returns the structural summary of g.
 func ComputeStats(g *Graph) Stats {
@@ -63,11 +70,14 @@ func ComputeStats(g *Graph) Stats {
 		Edges:              g.NumEdges(),
 		Entries:            len(g.Entries()),
 		Exits:              len(g.Exits()),
-		Width:              Width(g),
+		Width:              -1,
 		CPLength:           CriticalPathLength(g),
 		TotalComputation:   g.TotalComputation(),
 		TotalCommunication: g.TotalCommunication(),
 		CCR:                g.CCR(),
+	}
+	if g.NumNodes() <= WidthExactCutoff {
+		st.Width = Width(g)
 	}
 	depth := make([]int, g.NumNodes())
 	for _, v := range g.topoOrder() {
@@ -92,7 +102,11 @@ func ComputeStats(g *Graph) Stats {
 
 // String renders the stats in one line.
 func (s Stats) String() string {
-	return fmt.Sprintf("v=%d e=%d entries=%d exits=%d maxIn=%d maxOut=%d depth=%d width=%d cp=%d comp=%d comm=%d ccr=%.3f",
+	width := "-"
+	if s.Width >= 0 {
+		width = fmt.Sprintf("%d", s.Width)
+	}
+	return fmt.Sprintf("v=%d e=%d entries=%d exits=%d maxIn=%d maxOut=%d depth=%d width=%s cp=%d comp=%d comm=%d ccr=%.3f",
 		s.Nodes, s.Edges, s.Entries, s.Exits, s.MaxIn, s.MaxOut,
-		s.Depth, s.Width, s.CPLength, s.TotalComputation, s.TotalCommunication, s.CCR)
+		s.Depth, width, s.CPLength, s.TotalComputation, s.TotalCommunication, s.CCR)
 }

@@ -127,6 +127,7 @@ func LayerByLayer(rng *rand.Rand, v, layers int, p, ccr float64, connect bool) (
 		}
 	}
 	b := dag.NewBuilder()
+	b.Grow(v, 0)
 	var layerNodes [][]dag.NodeID
 	for _, c := range counts {
 		if c == 0 {
@@ -140,6 +141,15 @@ func LayerByLayer(rng *rand.Rand, v, layers int, p, ccr float64, connect bool) (
 	}
 	cm := commMean(ccr)
 	linked := newLinkTracker(v)
+	if v > streamCutoff {
+		// Streaming regime: geometric skips over each consecutive-layer
+		// pair grid and an O(V) connect pass (see streaming.go).
+		layeredStream(b, rng, p, cm, layerNodes, linked)
+		if connect {
+			connectLayersStream(b, rng, cm, layerNodes, linked)
+		}
+		return b.Build()
+	}
 	for k := 1; k < len(layerNodes); k++ {
 		for _, u := range layerNodes[k-1] {
 			for _, w := range layerNodes[k] {
@@ -211,16 +221,23 @@ func ErdosRenyi(rng *rand.Rand, v int, p, ccr float64, connect bool) (*dag.Graph
 		return nil, fmt.Errorf("gen: ErdosRenyi needs p in [0,1], got %g", p)
 	}
 	b := dag.NewBuilder()
+	b.Grow(v, 0)
 	for i := 0; i < v; i++ {
 		b.AddNode(uniformCost(rng, meanNodeCost, 2))
 	}
 	cm := commMean(ccr)
 	linked := newLinkTracker(v)
-	for i := 0; i < v; i++ {
-		for j := i + 1; j < v; j++ {
-			if rng.Float64() < p {
-				b.AddEdge(dag.NodeID(i), dag.NodeID(j), uniformCost(rng, cm, 1))
-				linked.union(dag.NodeID(i), dag.NodeID(j))
+	if v > streamCutoff {
+		// Streaming regime: geometric skips instead of one draw per
+		// forward pair (see streaming.go).
+		erdosStream(b, rng, v, p, cm, linked)
+	} else {
+		for i := 0; i < v; i++ {
+			for j := i + 1; j < v; j++ {
+				if rng.Float64() < p {
+					b.AddEdge(dag.NodeID(i), dag.NodeID(j), uniformCost(rng, cm, 1))
+					linked.union(dag.NodeID(i), dag.NodeID(j))
+				}
 			}
 		}
 	}
@@ -245,8 +262,16 @@ func FanInFanOut(rng *rand.Rand, v, maxout, maxin int, ccr float64) (*dag.Graph,
 		return nil, fmt.Errorf("gen: FanInFanOut needs maxout, maxin >= 1 (got %d, %d)", maxout, maxin)
 	}
 	b := dag.NewBuilder()
+	b.Grow(v, 0)
 	cm := commMean(ccr)
 	b.AddNode(uniformCost(rng, meanNodeCost, 2))
+	// Epoch-marked scratch dedups each fan-in step's parent draws with
+	// no per-step map; the draw sequence is exactly the map version's.
+	mark := make([]int32, v)
+	for i := range mark {
+		mark[i] = -1
+	}
+	epoch := int32(0)
 	for b.NumNodes() < v {
 		n := b.NumNodes()
 		if rng.Intn(2) == 0 {
@@ -266,16 +291,18 @@ func FanInFanOut(rng *rand.Rand, v, maxout, maxin int, ccr float64) (*dag.Graph,
 			if parents > n {
 				parents = n
 			}
-			seen := map[dag.NodeID]bool{}
 			join := b.AddNode(uniformCost(rng, meanNodeCost, 2))
-			for len(seen) < parents {
+			taken := 0
+			for taken < parents {
 				p := dag.NodeID(rng.Intn(n))
-				if seen[p] {
+				if mark[p] == epoch {
 					continue
 				}
-				seen[p] = true
+				mark[p] = epoch
+				taken++
 				b.AddEdge(p, join, uniformCost(rng, cm, 1))
 			}
+			epoch++
 		}
 	}
 	return b.Build()

@@ -79,20 +79,26 @@ func commMean(ccr float64) int64 {
 // mean 40·CCR.
 func randomDAG(rng *rand.Rand, v int, meanFanout float64, ccr float64) *dag.Graph {
 	b := dag.NewBuilder()
+	b.Grow(v, 0)
 	for i := 0; i < v; i++ {
 		b.AddNode(uniformCost(rng, meanNodeCost, 2))
 	}
 	cm := commMean(ccr)
 	maxFan := int(2*meanFanout) + 1
+	// Epoch-marked scratch dedups each source's target draws with no
+	// per-node map; the draw sequence is exactly the map version's.
+	mark := make([]int32, v)
+	for i := range mark {
+		mark[i] = -1
+	}
 	for i := 0; i < v-1; i++ {
 		kids := rng.Intn(maxFan) // uniform over [0, 2*meanFanout]
-		seen := map[int]bool{}
 		for k := 0; k < kids; k++ {
 			j := i + 1 + rng.Intn(v-i-1)
-			if seen[j] {
+			if mark[j] == int32(i) {
 				continue
 			}
-			seen[j] = true
+			mark[j] = int32(i)
 			b.AddEdge(dag.NodeID(i), dag.NodeID(j), uniformCost(rng, cm, 1))
 		}
 	}

@@ -137,8 +137,9 @@ func RGPOSGraph(rng *rand.Rand, v, procs int, ccr float64) RGPOSInstance {
 
 	cm := commMean(ccr)
 	eTarget := 5 * len(tasks)
-	type edgeKey struct{ u, v dag.NodeID }
-	seen := map[edgeKey]bool{}
+	// Packed (u,v) keys, same idiom as RGNOSGraph's dedup set.
+	edgeKey := func(u, v dag.NodeID) uint64 { return uint64(uint32(u))<<32 | uint64(uint32(v)) }
+	seen := map[uint64]struct{}{}
 	// Chain edges between most pairs of consecutive tasks of each
 	// processor (case II: co-located, so any weight preserves the
 	// construction schedule). The chains serve two purposes, both about
@@ -158,7 +159,7 @@ func RGPOSGraph(rng *rand.Rand, v, procs int, ccr float64) RGPOSInstance {
 	for i := 1; i < len(tasks); i++ {
 		a, c := tasks[i-1], tasks[i]
 		if a.proc == c.proc && rng.Intn(100) < 85 {
-			seen[edgeKey{a.id, c.id}] = true
+			seen[edgeKey(a.id, c.id)] = struct{}{}
 			b.AddEdge(a.id, c.id, uniformCost(rng, 4, 1))
 		}
 	}
@@ -168,8 +169,8 @@ func RGPOSGraph(rng *rand.Rand, v, procs int, ccr float64) RGPOSInstance {
 		if a.id == c.id || a.ft > c.st {
 			continue
 		}
-		key := edgeKey{a.id, c.id}
-		if seen[key] {
+		key := edgeKey(a.id, c.id)
+		if _, dup := seen[key]; dup {
 			continue
 		}
 		var w int64
@@ -187,7 +188,7 @@ func RGPOSGraph(rng *rand.Rand, v, procs int, ccr float64) RGPOSInstance {
 				w = gap
 			}
 		}
-		seen[key] = true
+		seen[key] = struct{}{}
 		b.AddEdge(a.id, c.id, w)
 	}
 

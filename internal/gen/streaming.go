@@ -1,0 +1,150 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/dag"
+)
+
+// Large-instance streaming paths for the Bernoulli-edge families.
+//
+// The textbook construction of an Erdős–Rényi or layer-by-layer DAG
+// draws one uniform variate per candidate node pair — Θ(V²) draws even
+// when the expected edge count is linear. Above streamCutoff nodes the
+// families switch to geometric skip sampling: the gap until the next
+// success of a Bernoulli(p) sequence is Geometric(p), so the generator
+// jumps straight from edge to edge and emits a million-node instance in
+// O(V+E) time and memory, already in CSR source order for the arena
+// Builder. Skip sampling realizes the same edge distribution but
+// consumes the random stream differently, so instances above the cutoff
+// are not byte-comparable with the pair-by-pair construction; below the
+// cutoff the original draw order is kept so every existing benchmark
+// instance stays byte-identical (pinned by the equivalence tests).
+const streamCutoff = 4096
+
+// geomSkip returns the number of Bernoulli(p) failures before the next
+// success, computed by inversion from one uniform draw: floor(ln U /
+// ln(1-p)). logq is ln(1-p), negative for p in (0,1). Values at or past
+// limit are clamped to limit, so callers can index safely.
+func geomSkip(rng *rand.Rand, logq float64, limit int) int {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	s := math.Log(u) / logq
+	if s >= float64(limit) {
+		return limit
+	}
+	return int(s)
+}
+
+// streamBernoulliRow emits the successes of one Bernoulli(p) row over
+// targets[0:], calling emit for each hit, using expected p·len(targets)
+// draws. p must be in (0,1); callers special-case 0 and 1.
+func streamBernoulliRow(rng *rand.Rand, logq float64, targets []dag.NodeID, emit func(dag.NodeID)) {
+	j := geomSkip(rng, logq, len(targets))
+	for j < len(targets) {
+		emit(targets[j])
+		j += 1 + geomSkip(rng, logq, len(targets)-j)
+	}
+}
+
+// erdosStream is the streaming edge phase of ErdosRenyi for v above
+// streamCutoff: per source, geometric skips over the higher-numbered
+// targets. Nodes must already exist in the builder.
+func erdosStream(b *dag.Builder, rng *rand.Rand, v int, p float64, cm int64, linked *linkTracker) {
+	if p <= 0 {
+		return
+	}
+	if p >= 1 {
+		for i := 0; i < v; i++ {
+			for j := i + 1; j < v; j++ {
+				b.AddEdge(dag.NodeID(i), dag.NodeID(j), uniformCost(rng, cm, 1))
+				linked.union(dag.NodeID(i), dag.NodeID(j))
+			}
+		}
+		return
+	}
+	logq := math.Log1p(-p)
+	for i := 0; i < v; i++ {
+		remaining := v - i - 1
+		j := i + 1 + geomSkip(rng, logq, remaining)
+		for j < v {
+			b.AddEdge(dag.NodeID(i), dag.NodeID(j), uniformCost(rng, cm, 1))
+			linked.union(dag.NodeID(i), dag.NodeID(j))
+			j += 1 + geomSkip(rng, logq, v-j)
+		}
+	}
+}
+
+// layeredStream is the streaming edge phase of LayerByLayer for v above
+// streamCutoff: per parent, geometric skips across the next layer's
+// node slice instead of one draw per (parent, child) pair.
+func layeredStream(b *dag.Builder, rng *rand.Rand, p float64, cm int64, layerNodes [][]dag.NodeID, linked *linkTracker) {
+	if p <= 0 {
+		return
+	}
+	emitAll := p >= 1
+	var logq float64
+	if !emitAll {
+		logq = math.Log1p(-p)
+	}
+	for k := 1; k < len(layerNodes); k++ {
+		next := layerNodes[k]
+		for _, u := range layerNodes[k-1] {
+			if emitAll {
+				for _, w := range next {
+					b.AddEdge(u, w, uniformCost(rng, cm, 1))
+					linked.union(u, w)
+				}
+				continue
+			}
+			streamBernoulliRow(rng, logq, next, func(w dag.NodeID) {
+				b.AddEdge(u, w, uniformCost(rng, cm, 1))
+				linked.union(u, w)
+			})
+		}
+	}
+}
+
+// connectLayersStream links the weakly connected components of a large
+// layered graph into one, like connectLayers, but computes each layer's
+// root-connected parent candidates once per layer instead of rescanning
+// per node, so the whole pass is O(V). Because a stitched node joins the
+// root component immediately, every node of layer k-1 is root-connected
+// by the time layer k is processed; the candidate set can only differ
+// from the legacy per-node rescan when a component spans both layers,
+// which only shifts the stitch-partner distribution — structure and
+// family invariants are identical.
+func connectLayersStream(b *dag.Builder, rng *rand.Rand, commMean int64, layers [][]dag.NodeID, linked *linkTracker) {
+	if len(layers) < 2 {
+		return
+	}
+	root := layers[0][0]
+	inRoot := func(n dag.NodeID) bool { return linked.find(int(n)) == linked.find(int(root)) }
+	var candidates []dag.NodeID
+	for k := 1; k < len(layers); k++ {
+		candidates = candidates[:0]
+		for _, u := range layers[k-1] {
+			if inRoot(u) {
+				candidates = append(candidates, u)
+			}
+		}
+		for _, w := range layers[k] {
+			if inRoot(w) {
+				continue
+			}
+			u := candidates[rng.Intn(len(candidates))]
+			b.AddEdge(u, w, uniformCost(rng, commMean, 1))
+			linked.union(u, w)
+		}
+	}
+	for _, x := range layers[0] {
+		if !inRoot(x) {
+			w := layers[1][rng.Intn(len(layers[1]))]
+			b.AddEdge(x, w, uniformCost(rng, commMean, 1))
+			linked.union(x, w)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package taskgraph
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// countingWriter counts bytes without retaining them.
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) { w.n += int64(len(p)); return len(p), nil }
+
+// TestMillionNodePipeline is the scale acceptance test behind the
+// scaling experiment: generate a million-node layered graph through
+// the streaming generator, encode it to the binary .tgb form, read it
+// back through the auto-detecting reader, and schedule the re-read
+// graph with HLFET — all within a 30-second wall-clock budget — then
+// check the encoding stays under 35% of the text form and the decoded
+// graph's steady-state heap stays linear with a small constant.
+func TestMillionNodePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping the million-node pipeline in short mode")
+	}
+	const v = 1_000_000
+	var before runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	start := time.Now()
+	// The scaling ladder's layered shape: p = 4/sqrt(v), so E = 4V.
+	g, err := Generate("layered", 7, GeneratorParams{"v": "1000000", "p": "0.004"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tgb bytes.Buffer
+	if err := WriteGraphBinary(&tgb, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadGraph(bytes.NewReader(tgb.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("binary round trip changed the graph: %d/%d nodes, %d/%d edges",
+			g2.NumNodes(), g.NumNodes(), g2.NumEdges(), g.NumEdges())
+	}
+	s, err := ScheduleBNP("HLFET", g2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if s.Makespan() <= 0 {
+		t.Errorf("HLFET makespan = %d, want > 0", s.Makespan())
+	}
+	if elapsed > 30*time.Second {
+		t.Errorf("generate + encode + decode + HLFET took %.1fs at v=%d, want < 30s", elapsed.Seconds(), v)
+	}
+	t.Logf("pipeline: v=%d e=%d in %.1fs, .tgb %.1f B/node", v, g.NumEdges(), elapsed.Seconds(), float64(tgb.Len())/v)
+
+	var tg countingWriter
+	if err := WriteGraph(&tg, g); err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(tgb.Len()) / float64(tg.n); ratio > 0.35 {
+		t.Errorf(".tgb is %.0f%% of .tg (%d / %d bytes), want <= 35%%", 100*ratio, tgb.Len(), tg.n)
+	}
+
+	// Steady-state heap of one decoded million-node graph: CSR holds
+	// both adjacency directions (16-byte arcs), weights, offsets, and
+	// the cached topological order — ~150 bytes/node at E = 4V. Assert
+	// the linear bound with headroom for allocator slack; a regression
+	// to per-node allocations would blow far past it.
+	s, g = nil, nil
+	tgb.Reset()
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	live := float64(after.HeapAlloc) - float64(before.HeapAlloc)
+	if perNode := live / v; perNode > 250 {
+		t.Errorf("decoded graph holds %.0f live heap bytes/node, want <= 250", perNode)
+	} else {
+		t.Logf("steady-state heap: %.0f bytes/node", perNode)
+	}
+	runtime.KeepAlive(g2)
+}

@@ -20,7 +20,7 @@
 set -eu -o pipefail
 cd "$(dirname "$0")/.."
 
-bench='BenchmarkTable6RunningTimes|BenchmarkAlgorithm/|BenchmarkSimMonteCarlo|BenchmarkComponents|BenchmarkAdversarialGeneration|BenchmarkFaultMonteCarlo'
+bench='BenchmarkTable6RunningTimes|BenchmarkAlgorithm/|BenchmarkSimMonteCarlo|BenchmarkComponents|BenchmarkAdversarialGeneration|BenchmarkFaultMonteCarlo|BenchmarkScalingLadder'
 benchtime=2x
 count=3
 out=""
@@ -73,12 +73,18 @@ report() {
             sub(/-[0-9]+$/, "", name)
             iters = $2
             ns = $3
+            # Any further "<value> <unit>" pairs (B/op, allocs/op, and
+            # b.ReportMetric extras like tgb-slope) become extra fields.
+            extra = ""
+            for (i = 5; i + 1 <= NF; i += 2) {
+                extra = extra sprintf(", \"%s\": %s", $(i + 1), $i)
+            }
             if (seen[name]++) {
                 runs[name] = runs[name] ", "
             } else {
                 order[++n] = name
             }
-            runs[name] = runs[name] sprintf("{\"iters\": %s, \"ns_per_op\": %s}", iters, ns)
+            runs[name] = runs[name] sprintf("{\"iters\": %s, \"ns_per_op\": %s%s}", iters, ns, extra)
         }
         END {
             for (i = 1; i <= n; i++) {

@@ -178,14 +178,14 @@ func TestGeneratorRegistryFacade(t *testing.T) {
 
 func TestExperimentIDsFacade(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 16 {
-		t.Fatalf("ExperimentIDs = %v, want 16 entries", ids)
+	if len(ids) != 17 {
+		t.Fatalf("ExperimentIDs = %v, want 17 entries", ids)
 	}
 	have := map[string]bool{}
 	for _, id := range ids {
 		have[id] = true
 	}
-	for _, id := range []string{"genx", "robust", "components", "adversarial", "faults"} {
+	for _, id := range []string{"genx", "robust", "components", "adversarial", "faults", "scaling"} {
 		if !have[id] {
 			t.Errorf("ExperimentIDs missing %s: %v", id, ids)
 		}
