@@ -21,6 +21,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/gen"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -377,6 +378,58 @@ func BenchmarkAblationTopology(b *testing.B) {
 			b.ReportMetric(nsl/float64(len(graphs)), "nsl")
 		})
 	}
+}
+
+// BenchmarkObsOverhead measures what observability costs the ETF
+// steady-state scheduling loop (the paper's heaviest BNP kernel) in
+// three regimes: fully off (the default every experiment runs under —
+// this sub-benchmark is the disabled-path contract, expected within
+// noise of the pre-observability kernel and 0 allocs/op from the
+// schedule pool), metrics on, and a live JSONL decision tracer. Part of
+// the tracked benchmark trajectory (scripts/bench.sh).
+func BenchmarkObsOverhead(b *testing.B) {
+	graphs := benchGraphs()
+	loop := func(b *testing.B) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			for _, g := range graphs {
+				s, err := ScheduleBNP("ETF", g, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.Release()
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		loop(b)
+	})
+	b.Run("metrics", func(b *testing.B) {
+		obs.EnableMetrics(true)
+		defer obs.EnableMetrics(false)
+		b.ReportAllocs()
+		b.ResetTimer()
+		loop(b)
+	})
+	b.Run("trace", func(b *testing.B) {
+		tr := obs.NewTracer(io.Discard, obs.TraceJSONL)
+		obs.SetTracer(tr)
+		defer obs.SetTracer(nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, g := range graphs {
+				tr.BeginRun("ETF", "BNP", g.NumNodes(), 8)
+				s, err := ScheduleBNP("ETF", g, 8)
+				tr.EndRun()
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.Release()
+			}
+		}
+	})
 }
 
 // BenchmarkOptimalSearch measures the branch-and-bound on an

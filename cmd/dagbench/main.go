@@ -5,6 +5,7 @@
 //
 //	dagbench [-exp id[,id...]] [-scale quick|full] [-seed N] [-workers N]
 //	         [-pair A:B] [-archive dir] [-faults] [-measure]
+//	         [-trace file] [-metrics] [-manifest file] [-version]
 //
 // Experiment ids are table1..table6, fig2..fig4, the extension studies
 // unccs, tdb, genx (the Canon et al. 2019 cross-generator ranking
@@ -65,11 +66,33 @@
 // bytes to allocation sites:
 //
 //	dagbench -exp scaling -scale full -measure -memprofile heap.out
+//
+// Observability (see docs/observability.md; none of these switches
+// changes a single experiment output byte):
+//
+//   - -trace FILE records every scheduler placement decision — node,
+//     staged priority, candidate processors with their ESTs, the chosen
+//     slot, insertion vs append. ".jsonl" paths get one JSON record per
+//     line; any other extension gets Chrome trace-event JSON, which
+//     ui.perfetto.dev renders as a per-processor Gantt chart per run.
+//     Tracing forces -workers=1 (the trace is a serial log of decisions;
+//     interleaved runs would shuffle it).
+//   - -metrics enables the internal metric registry (scheduling cells,
+//     cache hits, EST-cache rebuilds, simulator stalls, ...) and prints
+//     the counters to stderr after the experiments finish.
+//   - -manifest FILE writes a reproducibility receipt after a successful
+//     run: tool version, go version, flags, and the SHA-256 of the
+//     experiment bytes written to stdout (the wall-clock trailer lines
+//     are excluded, so equal configurations yield equal output hashes).
+//   - -version prints the build version (stamped via
+//     -ldflags "-X repro/internal/obs.Version=...", falling back to the
+//     VCS revision) and exits.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -100,7 +123,50 @@ func run() (code int) {
 	measure := flag.Bool("measure", false, "add wall-clock timing, allocation, peak-RSS, and time-slope columns to the scaling experiment (forces a serial run)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the experiment runs to this file")
+	trace := flag.String("trace", "", "write scheduler decision traces to this file (.jsonl: JSON lines; otherwise Chrome trace-event JSON for Perfetto; forces -workers=1)")
+	metrics := flag.Bool("metrics", false, "collect internal metrics and print them to stderr after the run")
+	manifest := flag.String("manifest", "", "write a reproducibility manifest (build, config, output hash) to this file after a successful run")
+	version := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Fprintf(os.Stdout, "dagbench %s (%s)\n", taskgraph.VersionString(), runtime.Version())
+		return 0
+	}
+
+	if *metrics {
+		taskgraph.EnableMetrics(true)
+		defer func() {
+			if err := taskgraph.WriteMetrics(os.Stderr); err != nil {
+				fmt.Fprintf(os.Stderr, "dagbench: -metrics: %v\n", err)
+				code = 1
+			}
+		}()
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dagbench: -trace: %v\n", err)
+			return 1
+		}
+		tracer := taskgraph.NewTracer(f, taskgraph.TraceFormatForPath(*trace))
+		taskgraph.SetTracer(tracer)
+		// The trace is a serial log of placement decisions; concurrent
+		// cells would interleave runs, so tracing forces a serial run
+		// (same policy as -measure).
+		*workers = 1
+		defer func() {
+			taskgraph.SetTracer(nil)
+			if err := tracer.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "dagbench: -trace: %v\n", err)
+				code = 1
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "dagbench: -trace: %v\n", err)
+				code = 1
+			}
+		}()
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -141,9 +207,20 @@ func run() (code int) {
 		}
 	}
 
+	// With -manifest, experiment output is teed through a SHA-256
+	// digest. The wall-clock trailer lines below are written to stdout
+	// directly, bypassing the digest, so the recorded output hash is
+	// deterministic for a given configuration.
+	var out io.Writer = os.Stdout
+	var hashed *taskgraph.HashWriter
+	if *manifest != "" {
+		hashed = taskgraph.NewHashWriter(os.Stdout)
+		out = hashed
+	}
+
 	cfg := taskgraph.ExperimentConfig{
 		Seed:    *seed,
-		Out:     os.Stdout,
+		Out:     out,
 		Workers: *workers,
 		// One cache per run: suites and RGBOS optima are shared by
 		// every experiment below.
@@ -210,6 +287,44 @@ func run() (code int) {
 			return 1
 		}
 		fmt.Fprintf(os.Stdout, "(%s finished in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+
+	if *manifest != "" {
+		m := taskgraph.NewRunManifest("dagbench", os.Args[1:])
+		m.SetConfig("exp", *exp)
+		m.SetConfig("scale", *scale)
+		m.SetConfig("seed", fmt.Sprint(*seed))
+		m.SetConfig("workers", fmt.Sprint(*workers))
+		if *pair != "" {
+			m.SetConfig("pair", *pair)
+		}
+		if *archive != "" {
+			m.SetConfig("archive", *archive)
+		}
+		if *faults {
+			m.SetConfig("faults", "true")
+		}
+		if *measure {
+			m.SetConfig("measure", "true")
+		}
+		if *trace != "" {
+			m.SetConfig("trace", *trace)
+		}
+		m.SetOutput(hashed)
+		f, err := os.Create(*manifest)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dagbench: -manifest: %v\n", err)
+			return 1
+		}
+		if err := m.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "dagbench: -manifest: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "dagbench: -manifest: %v\n", err)
+			return 1
+		}
 	}
 	return code
 }

@@ -6,9 +6,19 @@
 //
 // Usage:
 //
-//	dagview [-dot] [-algo NAME] [-procs N] [-topo hypercube8|ring4|...] file.tg
+//	dagview [-dot] [-algo NAME] [-procs N] [-topo hypercube8|ring4|...]
+//	        [-gantt] [-trace file] [-manifest file] file.tg
 //
 // Without a file argument, dagview reads the graph from stdin.
+//
+// With -algo, -gantt appends an ASCII Gantt chart of the schedule
+// (clique schedules only — BNP and UNC algorithms; APN timelines carry
+// link transfers the chart does not render). -trace records the
+// algorithm's placement decisions to a file, in the same formats as
+// dagbench -trace (".jsonl" for JSON lines, anything else for Chrome
+// trace-event JSON viewable in ui.perfetto.dev). -manifest writes a
+// reproducibility receipt including the input file's content hash and
+// the SHA-256 of the bytes printed to stdout.
 package main
 
 import (
@@ -26,11 +36,25 @@ func main() {
 	algoName := flag.String("algo", "", "schedule with this algorithm (e.g. MCP, DCP, BSA)")
 	procs := flag.Int("procs", 4, "processor count for BNP algorithms")
 	topoName := flag.String("topo", "hypercube8", "topology for APN algorithms")
+	gantt := flag.Bool("gantt", false, "with -algo: append an ASCII Gantt chart (BNP/UNC schedules)")
+	trace := flag.String("trace", "", "with -algo: write the placement decision trace to this file (.jsonl or Chrome trace-event JSON)")
+	manifest := flag.String("manifest", "", "write a reproducibility manifest (build, input hash, output hash) to this file")
 	flag.Parse()
 
+	// With -manifest, everything printed to stdout is teed through a
+	// SHA-256 digest so the receipt can name the exact output bytes.
+	var out io.Writer = os.Stdout
+	var hashed *taskgraph.HashWriter
+	if *manifest != "" {
+		hashed = taskgraph.NewHashWriter(os.Stdout)
+		out = hashed
+	}
+
 	var in io.Reader = os.Stdin
+	inName := "stdin"
 	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
+		inName = flag.Arg(0)
+		f, err := os.Open(inName)
 		if err != nil {
 			fail(err)
 		}
@@ -42,8 +66,32 @@ func main() {
 		fail(err)
 	}
 
+	var tracer *taskgraph.Tracer
+	if *trace != "" {
+		if *algoName == "" {
+			fail(fmt.Errorf("-trace needs -algo: the trace records one algorithm's placement decisions"))
+		}
+		f, err := os.Create(*trace)
+		if err != nil {
+			fail(err)
+		}
+		tracer = taskgraph.NewTracer(f, taskgraph.TraceFormatForPath(*trace))
+		tracer.SetInstance("dagview", inName)
+		taskgraph.SetTracer(tracer)
+		defer func() {
+			taskgraph.SetTracer(nil)
+			if err := tracer.Close(); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}()
+	}
+
 	if *dot {
-		fmt.Print(taskgraph.DOT(g, "taskgraph"))
+		fmt.Fprint(out, taskgraph.DOT(g, "taskgraph"))
+		writeManifest(*manifest, hashed, inName)
 		return
 	}
 
@@ -52,38 +100,122 @@ func main() {
 	if g.NumNodes() <= taskgraph.WidthExactCutoff {
 		width = fmt.Sprint(taskgraph.Width(g))
 	}
-	fmt.Printf("nodes=%d edges=%d CCR=%.3f width=%s\n",
+	fmt.Fprintf(out, "nodes=%d edges=%d CCR=%.3f width=%s\n",
 		g.NumNodes(), g.NumEdges(), g.CCR(), width)
-	fmt.Printf("critical path length=%d path=%v\n", lv.CPLength, taskgraph.CriticalPath(g))
+	fmt.Fprintf(out, "critical path length=%d path=%v\n", lv.CPLength, taskgraph.CriticalPath(g))
 
 	if *algoName == "" {
-		fmt.Println("\nnode  weight  t-level  b-level  static  ALAP")
+		fmt.Fprintln(out, "\nnode  weight  t-level  b-level  static  ALAP")
 		for v := 0; v < g.NumNodes(); v++ {
 			n := taskgraph.NodeID(v)
-			fmt.Printf("%4d  %6d  %7d  %7d  %6d  %4d\n",
+			fmt.Fprintf(out, "%4d  %6d  %7d  %7d  %6d  %4d\n",
 				v, g.Weight(n), lv.T[n], lv.B[n], lv.Static[n], lv.ALAP[n])
 		}
+		writeManifest(*manifest, hashed, inName)
 		return
 	}
 
+	// Resolve the algorithm's class before scheduling (BNP wins for the
+	// ambiguous DLS, matching the try-BNP-first behavior), so the tracer
+	// emits exactly one run header with the right class label.
 	name := strings.ToUpper(*algoName)
-	if s, err := taskgraph.ScheduleBNP(name, g, *procs); err == nil {
-		fmt.Printf("\n%s (BNP, %d procs):\n%s", name, *procs, s)
+	switch {
+	case hasAlgo(taskgraph.BNP, name):
+		beginRun(tracer, name, "BNP", g.NumNodes(), *procs)
+		s, err := taskgraph.ScheduleBNP(name, g, *procs)
+		endRun(tracer)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(out, "\n%s (BNP, %d procs):\n%s", name, *procs, s)
+		printGantt(out, *gantt, s)
+	case hasAlgo(taskgraph.UNC, name):
+		beginRun(tracer, name, "UNC", g.NumNodes(), g.NumNodes())
+		s, err := taskgraph.ScheduleUNC(name, g)
+		endRun(tracer)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(out, "\n%s (UNC):\n%s", name, s)
+		printGantt(out, *gantt, s)
+	case hasAlgo(taskgraph.APN, name):
+		topo, err := parseTopo(*topoName)
+		if err != nil {
+			fail(err)
+		}
+		beginRun(tracer, name, "APN", g.NumNodes(), topo.NumProcs())
+		s, err := taskgraph.ScheduleAPN(name, g, topo)
+		endRun(tracer)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(out, "\n%s (APN, %s):\n%s", name, topo.Name(), s)
+		if *gantt {
+			fmt.Fprintln(out, "(no Gantt chart for APN schedules; link transfers are not rendered)")
+		}
+	default:
+		fail(fmt.Errorf("unknown algorithm %q", *algoName))
+	}
+	writeManifest(*manifest, hashed, inName)
+}
+
+// hasAlgo reports whether name is a registered algorithm of class c.
+func hasAlgo(c taskgraph.Class, name string) bool {
+	for _, n := range taskgraph.AlgorithmNames(c) {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+func beginRun(t *taskgraph.Tracer, alg, class string, v, procs int) {
+	if t != nil {
+		t.BeginRun(alg, class, v, procs)
+	}
+}
+
+func endRun(t *taskgraph.Tracer) {
+	if t != nil {
+		t.EndRun()
+	}
+}
+
+func printGantt(out io.Writer, on bool, s *taskgraph.Schedule) {
+	if !on {
 		return
 	}
-	if s, err := taskgraph.ScheduleUNC(name, g); err == nil {
-		fmt.Printf("\n%s (UNC):\n%s", name, s)
+	fmt.Fprintln(out)
+	if err := taskgraph.Gantt(out, s, 100); err != nil {
+		fail(err)
+	}
+}
+
+// writeManifest records the reproducibility receipt when -manifest was
+// given: build stamps, the input graph's content hash (when it was a
+// file), and the digest of everything printed to stdout.
+func writeManifest(path string, hashed *taskgraph.HashWriter, inName string) {
+	if path == "" {
 		return
 	}
-	topo, err := parseTopo(*topoName)
+	m := taskgraph.NewRunManifest("dagview", os.Args[1:])
+	if inName != "stdin" {
+		if err := m.AddInput(inName); err != nil {
+			fail(err)
+		}
+	}
+	m.SetOutput(hashed)
+	f, err := os.Create(path)
 	if err != nil {
 		fail(err)
 	}
-	s, err := taskgraph.ScheduleAPN(name, g, topo)
-	if err != nil {
-		fail(fmt.Errorf("unknown algorithm %q", *algoName))
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		fail(err)
 	}
-	fmt.Printf("\n%s (APN, %s):\n%s", name, topo.Name(), s)
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
 }
 
 func parseTopo(name string) (*taskgraph.Topology, error) {

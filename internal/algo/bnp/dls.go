@@ -56,6 +56,7 @@ func dls(g *dag.Graph, s *sched.Schedule, ready *algo.ReadySet, sc *scratch) {
 			}
 		}
 		ready.Pop(bestNode)
+		tracePriority(bestNode, bestDL)
 		s.MustPlace(bestNode, int(bestProc), bestEST)
 		for _, m := range ready.Ready() {
 			if sc.bestProc[m] == bestProc {

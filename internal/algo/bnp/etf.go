@@ -62,6 +62,7 @@ func etf(g *dag.Graph, s *sched.Schedule, ready *algo.ReadySet, sc *scratch) {
 			}
 		}
 		ready.Pop(bestNode)
+		tracePriority(bestNode, bestEST)
 		s.MustPlace(bestNode, int(bestProc), bestEST)
 		for _, m := range ready.Ready() {
 			if sc.bestProc[m] == bestProc {

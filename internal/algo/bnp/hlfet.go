@@ -31,6 +31,7 @@ func runHLFET(g *dag.Graph, s *sched.Schedule) {
 		if !ok {
 			panic("bnp: HLFET popped node with unscheduled parent")
 		}
+		tracePriority(n, sc.lv.Static[n])
 		s.MustPlace(n, p, est)
 		ready.MarkScheduled(g, n)
 	}

@@ -36,6 +36,7 @@ func runISH(g *dag.Graph, s *sched.Schedule) {
 		if !ok {
 			panic("bnp: ISH popped node with unscheduled parent")
 		}
+		tracePriority(n, sl[n])
 		var holeStart int64
 		if slots := s.Slots(p); len(slots) > 0 {
 			holeStart = slots[len(slots)-1].Finish
@@ -70,6 +71,7 @@ func fillHole(g *dag.Graph, s *sched.Schedule, ready *algo.ReadySet, sl []int64,
 			return
 		}
 		ready.Pop(best)
+		tracePriority(best, sl[best])
 		s.MustPlace(best, p, bestStart)
 		ready.MarkScheduled(g, best)
 	}

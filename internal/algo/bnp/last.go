@@ -47,6 +47,8 @@ func runLAST(g *dag.Graph, s *sched.Schedule) {
 		if !ok {
 			panic("bnp: LAST popped node with unscheduled parent")
 		}
+		// D_NODE is a fraction in [0,1]; stage it in micro-units.
+		tracePriority(best, int64(bestD*1e6))
 		s.MustPlace(best, p, est)
 		ready.MarkScheduled(g, best)
 	}

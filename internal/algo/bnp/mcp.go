@@ -3,6 +3,7 @@ package bnp
 import (
 	"repro/internal/algo"
 	"repro/internal/dag"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -23,7 +24,22 @@ func MCP(g *dag.Graph, numProcs int) (*sched.Schedule, error) {
 
 // runMCP computes the ALAP-list order and runs the placement loop.
 func runMCP(g *dag.Graph, s *sched.Schedule) {
-	mcpPlace(algo.ALAPListOrder(g), s)
+	order := algo.ALAPListOrder(g)
+	if t := obs.ActiveTracer(); t != nil && t.InRun() {
+		// Traced runs take a separate loop that stages each node's ALAP
+		// time, so the untraced hot path stays exactly mcpPlace.
+		alap := dag.ComputeLevels(g).ALAP
+		for _, n := range order {
+			p, est, ok := s.BestEST(n, true)
+			if !ok {
+				panic("bnp: MCP order is not topological")
+			}
+			t.Priority(int32(n), alap[n])
+			s.MustPlace(n, p, est)
+		}
+		return
+	}
+	mcpPlace(order, s)
 }
 
 // mcpPlace runs MCP's placement loop — insertion-based earliest start

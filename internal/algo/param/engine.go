@@ -66,6 +66,7 @@ func run(c Combo, g *dag.Graph, s *sched.Schedule) {
 			n := algo.MinBy(ready.Ready(), func(m dag.NodeID) int64 { return int64(e.rank[m]) })
 			ready.Pop(n)
 			e.eval(c, s, n)
+			tracePriority(n, int64(e.rank[n]))
 			s.MustPlace(n, int(e.bestProc[n]), e.bestEST[n])
 			ready.MarkScheduled(g, n)
 		}
@@ -110,6 +111,7 @@ func run(c Combo, g *dag.Graph, s *sched.Schedule) {
 		}
 		placed := e.bestProc[bestNode]
 		ready.Pop(bestNode)
+		tracePriority(bestNode, e.bestObj[bestNode])
 		s.MustPlace(bestNode, int(placed), e.bestEST[bestNode])
 		for _, m := range ready.Ready() {
 			if e.bestProc[m] == placed {

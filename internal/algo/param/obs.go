@@ -1,0 +1,16 @@
+package param
+
+import (
+	"repro/internal/dag"
+	"repro/internal/obs"
+)
+
+// tracePriority stages node n's selection value on the active tracer
+// for the placement record the imminent Place emits: the static rank in
+// the static regime, the rule objective in the dynamic one. One atomic
+// load and a nil check when disabled.
+func tracePriority(n dag.NodeID, prio int64) {
+	if t := obs.ActiveTracer(); t != nil && t.InRun() {
+		t.Priority(int32(n), prio)
+	}
+}

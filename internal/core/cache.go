@@ -75,8 +75,10 @@ func (c *SuiteCache) rgbosInstances(cfg Config) (map[float64][]degradationInstan
 	defer c.mu.Unlock()
 	k := c.key(cfg)
 	if got, ok := c.rgbos[k]; ok {
+		cacheHits.Inc()
 		return got, nil
 	}
+	cacheMisses.Inc()
 	suite, err := computeRGBOS(cfg)
 	if err != nil {
 		return nil, err
@@ -134,8 +136,10 @@ func (c *SuiteCache) rgposInstances(cfg Config) map[float64][]degradationInstanc
 	defer c.mu.Unlock()
 	k := c.key(cfg)
 	if got, ok := c.rgpos[k]; ok {
+		cacheHits.Inc()
 		return got
 	}
+	cacheMisses.Inc()
 	out := map[float64][]degradationInstance{}
 	lo, hi, step := rgposSizes(cfg.Scale)
 	for _, ccr := range gen.PaperCCRs {
@@ -165,8 +169,10 @@ func (c *SuiteCache) genxSuite(cfg Config) (map[string][]gen.NamedGraph, error) 
 	defer c.mu.Unlock()
 	k := c.key(cfg)
 	if got, ok := c.genx[k]; ok {
+		cacheHits.Inc()
 		return got, nil
 	}
+	cacheMisses.Inc()
 	sizes, ccrs, instances := genxPoints(cfg.Scale)
 	byFam, err := matchedFamilySuite("genx", cfg.Seed, sizes, ccrs, instances)
 	if err != nil {
@@ -185,8 +191,10 @@ func (c *SuiteCache) componentsSuite(cfg Config) (map[string][]gen.NamedGraph, e
 	defer c.mu.Unlock()
 	k := c.key(cfg)
 	if got, ok := c.comp[k]; ok {
+		cacheHits.Inc()
 		return got, nil
 	}
+	cacheMisses.Inc()
 	sizes, ccrs, instances := componentsPoints(cfg.Scale)
 	byFam, err := matchedFamilySuite("components", cfg.Seed, sizes, ccrs, instances)
 	if err != nil {
@@ -244,8 +252,10 @@ func (c *SuiteCache) robustSuite(cfg Config) ([]robustFamily, error) {
 	defer c.mu.Unlock()
 	k := c.key(cfg)
 	if got, ok := c.robust[k]; ok {
+		cacheHits.Inc()
 		return got, nil
 	}
+	cacheMisses.Inc()
 	sizes, ccrs, instances := robustPoints(cfg.Scale)
 	var fams []robustFamily
 	for fi, f := range gen.Generators() {
@@ -299,8 +309,10 @@ func (c *SuiteCache) rgnosSuite(cfg Config) map[int][]gen.NamedGraph {
 	defer c.mu.Unlock()
 	k := c.key(cfg)
 	if got, ok := c.rgnos[k]; ok {
+		cacheHits.Inc()
 		return got
 	}
+	cacheMisses.Inc()
 	rc := gen.RGNOSConfig{
 		MinNodes:    50,
 		MaxNodes:    500,

@@ -16,6 +16,7 @@ import (
 	"repro/internal/algo/unc"
 	"repro/internal/dag"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -68,6 +69,23 @@ func (a Algorithm) Run(g *dag.Graph, bnpProcs int, topo *machine.Topology) (Resu
 // algorithms choose their own processor count (up to one per node), so
 // speeds must cover g.NumNodes() processors.
 func (a Algorithm) RunOn(g *dag.Graph, bnpProcs int, speeds []float64, topo *machine.Topology) (Result, error) {
+	if t := obs.ActiveTracer(); t != nil {
+		procs := bnpProcs
+		switch a.Class {
+		case UNC:
+			procs = g.NumNodes()
+		case APN:
+			if topo != nil {
+				procs = topo.NumProcs()
+			}
+		}
+		// Bracketing the run here (rather than in the kernels) keeps
+		// bulk placements outside RunOn — branch-and-bound optimal
+		// probes, fault-repair passes — out of the trace.
+		t.BeginRun(a.Name, string(a.Class), g.NumNodes(), procs)
+		defer t.EndRun()
+	}
+	algRuns.Inc()
 	start := time.Now()
 	var (
 		length int64

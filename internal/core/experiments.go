@@ -8,6 +8,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/gen"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/table"
 )
 
@@ -171,6 +172,12 @@ func runCell(p *plan[Result], exp string, a Algorithm, ng gen.NamedGraph, bnpPro
 // (nil for the homogeneous machine).
 func runCellOn(p *plan[Result], exp string, a Algorithm, ng gen.NamedGraph, bnpProcs int, speeds []float64, topo *machine.Topology) {
 	p.add(func() (Result, error) {
+		if t := obs.ActiveTracer(); t != nil {
+			// The planner knows the experiment and instance names; RunOn
+			// only sees the graph. Tracing implies a serial runner, so the
+			// staged labels pair with the BeginRun that follows.
+			t.SetInstance(exp, ng.Name)
+		}
 		res, err := a.RunOn(ng.G, bnpProcs, speeds, topo)
 		if err != nil {
 			return Result{}, fmt.Errorf("%s: %s on %s: %w", exp, a.Name, ng.Name, err)

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Engine metrics: scheduling runs, runner cell fan-out, and SuiteCache
+// reuse. All are gated on obs.EnableMetrics; disabled they cost one
+// atomic load per site.
+var (
+	// algRuns counts Algorithm.RunOn invocations — one per measured
+	// scheduling run, over every class.
+	algRuns = obs.NewCounter("core.alg.runs")
+	// cellsRun counts experiment cells executed by the runner.
+	cellsRun = obs.NewCounter("core.runner.cells")
+	// cellInflight tracks concurrently executing cells; its high-water
+	// mark shows the parallelism an experiment actually reached.
+	cellInflight = obs.NewGauge("core.runner.inflight")
+	// cellMicros distributes per-cell wall time in microseconds.
+	cellMicros = obs.NewHistogram("core.runner.cell_us",
+		100, 1000, 10_000, 100_000, 1_000_000, 10_000_000)
+	// cacheHits/cacheMisses count SuiteCache suite lookups served from
+	// memory vs computed cold.
+	cacheHits   = obs.NewCounter("core.cache.hit")
+	cacheMisses = obs.NewCounter("core.cache.miss")
+)
+
+// instrumentCell runs one planned cell under the runner metrics. The
+// timing reads the clock only when metrics are on, so the disabled path
+// is exactly the bare cell call behind one atomic load.
+func instrumentCell[T any](cell func() (T, error)) (T, error) {
+	if !obs.MetricsEnabled() {
+		return cell()
+	}
+	cellsRun.Inc()
+	cellInflight.Add(1)
+	t0 := time.Now()
+	v, err := cell()
+	cellMicros.Observe(time.Since(t0).Microseconds())
+	cellInflight.Add(-1)
+	return v, err
+}

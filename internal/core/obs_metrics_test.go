@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// counterValue reads one registered counter's current count.
+func counterValue(t *testing.T, name string) int64 {
+	t.Helper()
+	for _, s := range obs.SnapshotMetrics() {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	t.Fatalf("metric %q not registered", name)
+	return 0
+}
+
+// TestSuiteCacheHitMissAccounting pins the cache counters against a
+// hand-computed access sequence: every getter's first call on a fresh
+// (seed, scale) key is one miss, every repeat is one hit, and a
+// different seed is a fresh key again.
+func TestSuiteCacheHitMissAccounting(t *testing.T) {
+	obs.EnableMetrics(true)
+	t.Cleanup(func() { obs.EnableMetrics(false) })
+
+	cache := NewSuiteCache()
+	cfg := Config{Seed: 11, Scale: Quick, Cache: cache}
+	hits0 := counterValue(t, "core.cache.hit")
+	misses0 := counterValue(t, "core.cache.miss")
+	step := func(wantHits, wantMisses int64) {
+		t.Helper()
+		if got := counterValue(t, "core.cache.hit") - hits0; got != wantHits {
+			t.Fatalf("cache hits = %d, want %d", got, wantHits)
+		}
+		if got := counterValue(t, "core.cache.miss") - misses0; got != wantMisses {
+			t.Fatalf("cache misses = %d, want %d", got, wantMisses)
+		}
+	}
+
+	// Cold: one miss, no hits.
+	cache.rgnosSuite(cfg)
+	step(0, 1)
+	// Warm repeat on the same key: one hit, still one miss.
+	cache.rgnosSuite(cfg)
+	step(1, 1)
+	// A different suite on the same key is its own cold entry.
+	cache.rgposInstances(cfg)
+	step(1, 2)
+	cache.rgposInstances(cfg)
+	step(2, 2)
+	// A different seed is a fresh key: cold again for a suite the cache
+	// already holds under the old seed.
+	other := cfg
+	other.Seed = 12
+	cache.rgnosSuite(other)
+	step(2, 3)
+	// Both keys stay warm independently.
+	cache.rgnosSuite(cfg)
+	cache.rgnosSuite(other)
+	step(4, 3)
+}
+
+// TestCacheCountersGatedOnEnable pins the zero-overhead contract on the
+// cache path: with metrics disabled, cache traffic moves no counters.
+func TestCacheCountersGatedOnEnable(t *testing.T) {
+	obs.EnableMetrics(true)
+	hits0 := counterValue(t, "core.cache.hit")
+	misses0 := counterValue(t, "core.cache.miss")
+	obs.EnableMetrics(false)
+
+	cache := NewSuiteCache()
+	cfg := Config{Seed: 13, Scale: Quick, Cache: cache}
+	cache.rgnosSuite(cfg)
+	cache.rgnosSuite(cfg)
+
+	obs.EnableMetrics(true)
+	t.Cleanup(func() { obs.EnableMetrics(false) })
+	if got := counterValue(t, "core.cache.hit"); got != hits0 {
+		t.Fatalf("disabled metrics moved cache hits: %d -> %d", hits0, got)
+	}
+	if got := counterValue(t, "core.cache.miss"); got != misses0 {
+		t.Fatalf("disabled metrics moved cache misses: %d -> %d", misses0, got)
+	}
+}

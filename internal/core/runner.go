@@ -63,7 +63,7 @@ func runCells[T any](r *Runner, cells []func() (T, error)) ([]T, error) {
 	if workers <= 1 {
 		for i, cell := range cells {
 			var err error
-			if results[i], err = cell(); err != nil {
+			if results[i], err = instrumentCell(cell); err != nil {
 				return nil, err
 			}
 		}
@@ -84,7 +84,7 @@ func runCells[T any](r *Runner, cells []func() (T, error)) ([]T, error) {
 				if i >= n || failed.Load() {
 					return
 				}
-				results[i], errs[i] = cells[i]()
+				results[i], errs[i] = instrumentCell(cells[i])
 				if errs[i] != nil {
 					failed.Store(true)
 				}

@@ -4,13 +4,13 @@ import (
 	"bytes"
 	"fmt"
 	"math"
-	"os"
 	"runtime"
 	"strconv"
 	"time"
 
 	"repro/internal/dag"
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/table"
 )
 
@@ -189,30 +189,6 @@ type countWriter struct{ n int64 }
 
 func (w *countWriter) Write(p []byte) (int, error) { w.n += int64(len(p)); return len(p), nil }
 
-// peakRSSKB returns the process's resident-set high-water mark in
-// kilobytes (Linux VmHWM), or -1 where /proc is unavailable.
-func peakRSSKB() int64 {
-	data, err := os.ReadFile("/proc/self/status")
-	if err != nil {
-		return -1
-	}
-	for _, line := range bytes.Split(data, []byte("\n")) {
-		if !bytes.HasPrefix(line, []byte("VmHWM:")) {
-			continue
-		}
-		fields := bytes.Fields(line[len("VmHWM:"):])
-		if len(fields) < 1 {
-			return -1
-		}
-		kb, err := strconv.ParseInt(string(fields[0]), 10, 64)
-		if err != nil {
-			return -1
-		}
-		return kb
-	}
-	return -1
-}
-
 // fitSlope returns the least-squares slope of log(y) against log(x),
 // i.e. the exponent s of the best power-law fit y ~ x^s. Pairs with
 // non-positive coordinates are skipped; fewer than two usable points
@@ -351,7 +327,9 @@ func Scaling(cfg Config) error {
 				}
 			}
 			if measure {
-				row.rssKB = peakRSSKB()
+				// The probe lives in internal/obs; sampling also publishes
+				// the proc.peak_rss_kb gauge when metrics are on.
+				row.rssKB = obs.SamplePeakRSS()
 			}
 			rows = append(rows, row)
 		}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/dag"
+	"repro/internal/obs"
 	"repro/internal/pq"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -271,6 +272,7 @@ func (c *cliqueExec) run(opts *Options, pol RecoveryPolicy, trial int) Result {
 	for p := range rt.queue {
 		rt.tryRelease(p)
 	}
+	var events int64
 	for !rt.aborted && rt.remaining > 0 {
 		if rt.pending == 0 && !rt.repairCanUnblock() {
 			break // lost tasks block all remaining work forever
@@ -279,6 +281,7 @@ func (c *cliqueExec) run(opts *Options, pol RecoveryPolicy, trial int) Result {
 			break
 		}
 		ev := rt.heap.Pop()
+		events++
 		rt.now = ev.t
 		if ev.t > rt.horizon {
 			rt.horizon = ev.t
@@ -291,6 +294,12 @@ func (c *cliqueExec) run(opts *Options, pol RecoveryPolicy, trial int) Result {
 		case evRepair:
 			rt.repairProc(int(ev.id))
 		}
+	}
+	if obs.MetricsEnabled() {
+		ftRuns.Inc()
+		ftEvents.Add(events)
+		ftCrashes.Add(int64(rt.crashes))
+		ftLost.Add(int64(rt.remaining))
 	}
 	return rt.result()
 }

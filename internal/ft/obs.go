@@ -1,0 +1,13 @@
+package ft
+
+import "repro/internal/obs"
+
+// Fault-injection metrics: executions, events drained from the queue,
+// crashes injected, and tasks lost unrecoverably. Accumulated locally
+// per execution and folded in once at the end.
+var (
+	ftRuns    = obs.NewCounter("ft.runs")
+	ftEvents  = obs.NewCounter("ft.events")
+	ftCrashes = obs.NewCounter("ft.crashes")
+	ftLost    = obs.NewCounter("ft.lost")
+)

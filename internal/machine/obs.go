@@ -1,0 +1,33 @@
+package machine
+
+import (
+	"repro/internal/dag"
+	"repro/internal/obs"
+)
+
+// traceCandidateCap mirrors the sched package's bound on recorded
+// candidates per placement.
+const traceCandidateCap = 32
+
+// tracePlacement emits the decision record for an imminent Place. It
+// must run before Place's own planInbound call: ESTOn reuses the query
+// scratch that the committed message plan aliases, so probing
+// candidates afterwards would corrupt the plan. Everything here is a
+// query; tracing cannot change the schedule.
+func (s *Schedule) tracePlacement(t *obs.Tracer, n dag.NodeID, p int, start int64) {
+	insertion := start < s.procs[p].LastFinish()
+	cands := t.CandidateBuf()
+	np := s.NumProcs()
+	if np > traceCandidateCap {
+		np = traceCandidateCap
+	}
+	for q := 0; q < np; q++ {
+		est, ok := s.ESTOn(n, q, insertion)
+		if !ok {
+			cands = cands[:0]
+			break
+		}
+		cands = append(cands, obs.Candidate{Proc: int32(q), EST: est})
+	}
+	t.Placement(int32(n), int32(p), start, start+s.ExecTime(n, p), insertion, cands)
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/dag"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -384,6 +385,11 @@ func (s *Schedule) Place(n dag.NodeID, p int, start int64) error {
 	}
 	if start < 0 {
 		return fmt.Errorf("machine: negative start time %d", start)
+	}
+	if t := obs.ActiveTracer(); t != nil && t.InRun() {
+		// Must precede planInbound: candidate probing reuses the query
+		// scratch the committed plan would alias.
+		s.tracePlacement(t, n, p, start)
 	}
 	drt, plan, ok := s.planInbound(n, p)
 	if !ok {

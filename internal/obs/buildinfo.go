@@ -1,0 +1,37 @@
+package obs
+
+import "runtime/debug"
+
+// Version is the build stamp, overridden at link time:
+//
+//	go build -ldflags "-X repro/internal/obs.Version=v1.2.3" ./cmd/dagbench
+//
+// The default marks unstamped developer builds.
+var Version = "dev"
+
+// VersionString returns the stamped version, augmented with the VCS
+// revision when the binary was built from a checkout with module build
+// info (unstamped `go build` embeds it automatically).
+func VersionString() string {
+	v := Version
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "+dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			v += " (" + rev + dirty + ")"
+		}
+	}
+	return v
+}

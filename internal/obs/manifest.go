@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"hash"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// Manifest is a reproducibility receipt for one dagbench invocation:
+// everything needed to re-derive the run — the configuration, the
+// build, content hashes of every input file, and the hash of the bytes
+// the run wrote to stdout. Two runs with equal manifests (ignoring the
+// wall-clock fields the manifest deliberately omits) produced equal
+// tables.
+type Manifest struct {
+	Tool      string            `json:"tool"`
+	Version   string            `json:"version"`
+	GoVersion string            `json:"go_version"`
+	OS        string            `json:"os"`
+	Arch      string            `json:"arch"`
+	Command   []string          `json:"command"`
+	Config    map[string]string `json:"config,omitempty"`
+	Inputs    []FileDigest      `json:"inputs,omitempty"`
+	OutputSHA string            `json:"output_sha256"`
+	OutputLen int64             `json:"output_bytes"`
+}
+
+// FileDigest is the content hash of one input file.
+type FileDigest struct {
+	Path   string `json:"path"`
+	SHA256 string `json:"sha256"`
+	Bytes  int64  `json:"bytes"`
+}
+
+// NewManifest returns a manifest stamped with the running build.
+func NewManifest(tool string, command []string) *Manifest {
+	return &Manifest{
+		Tool:      tool,
+		Version:   VersionString(),
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		Command:   command,
+	}
+}
+
+// SetConfig records one configuration key (flag values, seeds, worker
+// counts) in the manifest.
+func (m *Manifest) SetConfig(key, value string) {
+	if m.Config == nil {
+		m.Config = make(map[string]string)
+	}
+	m.Config[key] = value
+}
+
+// AddInput hashes the file at path and records it; missing inputs are
+// an error so a manifest never silently under-reports.
+func (m *Manifest) AddInput(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return err
+	}
+	m.Inputs = append(m.Inputs, FileDigest{
+		Path:   path,
+		SHA256: hex.EncodeToString(h.Sum(nil)),
+		Bytes:  n,
+	})
+	return nil
+}
+
+// SetOutput records the digest of the run's stdout, normally taken from
+// a HashWriter teeing the stream.
+func (m *Manifest) SetOutput(hw *HashWriter) {
+	m.OutputSHA = hw.SumHex()
+	m.OutputLen = hw.Len()
+}
+
+// WriteJSON serializes the manifest as indented JSON with sorted input
+// records, so equal runs produce byte-identical manifests.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	sort.Slice(m.Inputs, func(i, j int) bool { return m.Inputs[i].Path < m.Inputs[j].Path })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// HashWriter tees writes into a SHA-256 digest. dagbench wraps stdout
+// in one when a manifest is requested, so the receipt can name the
+// exact bytes the run produced without buffering them.
+type HashWriter struct {
+	w io.Writer
+	h hash.Hash
+	n int64
+}
+
+// NewHashWriter returns a HashWriter forwarding to w.
+func NewHashWriter(w io.Writer) *HashWriter {
+	return &HashWriter{w: w, h: sha256.New()}
+}
+
+// Write forwards p to the underlying writer and folds it into the
+// digest.
+func (hw *HashWriter) Write(p []byte) (int, error) {
+	n, err := hw.w.Write(p)
+	hw.h.Write(p[:n])
+	hw.n += int64(n)
+	return n, err
+}
+
+// SumHex returns the hex digest of everything written so far.
+func (hw *HashWriter) SumHex() string { return hex.EncodeToString(hw.h.Sum(nil)) }
+
+// Len returns the number of bytes written so far.
+func (hw *HashWriter) Len() int64 { return hw.n }

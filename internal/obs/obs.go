@@ -1,0 +1,36 @@
+// Package obs is the stack-wide observability layer of the
+// reproduction: a metrics core (atomic counters, gauges, and
+// fixed-bucket histograms behind a process-wide registry), a scheduler
+// decision tracer (per-placement records streamed as JSONL or as Chrome
+// trace-event JSON so any run opens in Perfetto as a per-processor
+// Gantt timeline), and run manifests (reproducibility receipts tying an
+// experiment's output bytes to the configuration, build, and input
+// hashes that produced it).
+//
+// # The zero-overhead invariant
+//
+// Instrumentation never changes an output byte, and the disabled path
+// costs zero allocations and near-zero time. Both facilities hang off a
+// single atomic read on their hot paths:
+//
+//   - metrics are gated on a package-wide atomic.Bool — a disabled
+//     Counter.Inc is one uncontended load and a predicted branch;
+//   - tracing is gated on a package-wide atomic.Pointer — a disabled
+//     placement hook is one nil check.
+//
+// Neither path allocates when disabled, which keeps the steady-state
+// scheduling inner loops (asserted allocation-free since PR 3) at zero
+// allocations with the instrumentation compiled in. The invariant tests
+// in internal/core additionally pin that enabling both facilities
+// leaves every algorithm's schedule — and every experiment's output —
+// byte-identical.
+//
+// # Determinism
+//
+// Decision traces are a per-run serial artifact: the tracer is a global
+// singleton, so callers that enable it must run cells serially
+// (dagbench -trace forces -workers=1, exactly like -measure). Metric
+// values are monotone sums and are reported out of band (dagbench
+// -metrics writes to stderr), so experiment stdout stays byte-identical
+// at every worker count with either facility on or off.
+package obs

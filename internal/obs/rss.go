@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+)
+
+// peakRSSGauge mirrors the last sampled VmHWM reading so memory
+// high-water marks show up next to the other metrics in -metrics dumps.
+var peakRSSGauge = NewGauge("proc.peak_rss_kb")
+
+// PeakRSSKB returns the process's resident-set high-water mark in
+// kilobytes (Linux VmHWM), or -1 where /proc is unavailable.
+func PeakRSSKB() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return -1
+	}
+	return parsePeakRSS(data)
+}
+
+// parsePeakRSS extracts the VmHWM kilobyte value from a
+// /proc/self/status document, or -1 when the line is absent or
+// malformed.
+func parsePeakRSS(data []byte) int64 {
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if !bytes.HasPrefix(line, []byte("VmHWM:")) {
+			continue
+		}
+		fields := bytes.Fields(line[len("VmHWM:"):])
+		if len(fields) < 1 {
+			return -1
+		}
+		kb, err := strconv.ParseInt(string(fields[0]), 10, 64)
+		if err != nil {
+			return -1
+		}
+		return kb
+	}
+	return -1
+}
+
+// SamplePeakRSS reads the current high-water mark and, when metrics are
+// enabled, publishes it through the proc.peak_rss_kb gauge. It returns
+// the reading either way so callers that render it directly (-exp
+// scaling -measure) share one probe.
+func SamplePeakRSS() int64 {
+	kb := PeakRSSKB()
+	if kb >= 0 {
+		peakRSSGauge.Set(kb)
+	}
+	return kb
+}

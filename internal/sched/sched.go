@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/dag"
+	"repro/internal/obs"
 )
 
 // Slot is one contiguous task execution on a processor timeline.
@@ -348,6 +349,10 @@ func (s *Schedule) PlaceFixed(n dag.NodeID, p int, start, finish int64) error {
 // placement arrays, last-finish mirror, makespan, and the children's
 // data-arrival cache rows.
 func (s *Schedule) commit(n dag.NodeID, p int, start, finish int64) error {
+	if t := obs.ActiveTracer(); t != nil && t.InRun() {
+		// Before the insert: the record captures the pre-decision state.
+		s.tracePlacement(t, n, p, start, finish)
+	}
 	if err := s.procs[p].Insert(Slot{Node: n, Start: start, Finish: finish}); err != nil {
 		return fmt.Errorf("sched: node %d on P%d: %w", n, p, err)
 	}
@@ -464,6 +469,7 @@ func (s *Schedule) ProcessorsUsed() int {
 // take over all parents because a parent off p has bare finish <= its
 // finish+comm <= M2.
 func (s *Schedule) DataReadyTime(n dag.NodeID, p int) (drt int64, ok bool) {
+	estQueries.Inc()
 	if int(s.schedPreds[n]) != s.g.InDegree(n) {
 		return 0, false
 	}
@@ -484,6 +490,7 @@ func (s *Schedule) DataReadyTime(n dag.NodeID, p int) (drt int64, ok bool) {
 // scan over its (fully scheduled) predecessors, after Unplace
 // invalidated it.
 func (s *Schedule) rebuildArrival(n dag.NodeID) {
+	estRebuilds.Inc()
 	var m1, m2, fmax int64
 	p1 := int32(-1)
 	for _, pr := range s.g.Preds(n) {
@@ -596,6 +603,7 @@ func (s *Schedule) BestEST(n dag.NodeID, insertion bool) (proc int, est int64, o
 // values (co-located with the dominant parent or not), so the scan over
 // processors reduces to a tight loop over the flat last-finish array.
 func (s *Schedule) BestESTNonInsertion(n dag.NodeID) (proc int, est int64, ok bool) {
+	estQueries.Inc()
 	if int(s.schedPreds[n]) != s.g.InDegree(n) {
 		return -1, 0, false
 	}

@@ -3,6 +3,7 @@ package sim
 import (
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/pq"
 )
 
@@ -149,6 +150,20 @@ func (p *Plan) run(opts *Options, trial uint64) int64 {
 				e.release(a.to)
 			}
 		}
+	}
+	if obs.MetricsEnabled() {
+		// Every job fires exactly one completion event; a job is stalled
+		// when upstream perturbation pushed its realized release past the
+		// planned start floor.
+		var stalls int64
+		for j := range p.jobs {
+			if e.ready[j] > p.jobs[j].planned {
+				stalls++
+			}
+		}
+		simRuns.Inc()
+		simEvents.Add(int64(n))
+		simStalls.Add(stalls)
 	}
 	e.plan, e.speed = nil, nil // do not pin while pooled
 	enginePool.Put(e)

@@ -1,0 +1,14 @@
+package sim
+
+import "repro/internal/obs"
+
+// Event-loop metrics: executions replayed, release events processed,
+// and contention stalls — jobs whose realized release time exceeded
+// their planned floor, i.e. placements right-shifted by upstream
+// perturbation. Accumulated per run and added once, so the enabled path
+// costs three atomic adds per execution, not per event.
+var (
+	simRuns   = obs.NewCounter("sim.runs")
+	simEvents = obs.NewCounter("sim.events")
+	simStalls = obs.NewCounter("sim.stalls")
+)

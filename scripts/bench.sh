@@ -20,7 +20,7 @@
 set -eu -o pipefail
 cd "$(dirname "$0")/.."
 
-bench='BenchmarkTable6RunningTimes|BenchmarkAlgorithm/|BenchmarkSimMonteCarlo|BenchmarkComponents|BenchmarkAdversarialGeneration|BenchmarkFaultMonteCarlo|BenchmarkScalingLadder'
+bench='BenchmarkTable6RunningTimes|BenchmarkAlgorithm/|BenchmarkSimMonteCarlo|BenchmarkComponents|BenchmarkAdversarialGeneration|BenchmarkFaultMonteCarlo|BenchmarkScalingLadder|BenchmarkObsOverhead'
 benchtime=2x
 count=3
 out=""

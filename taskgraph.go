@@ -45,6 +45,7 @@ import (
 	"repro/internal/ft"
 	"repro/internal/gen"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/optimal"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -650,3 +651,81 @@ func ExperimentIDs() []string {
 func RunExperiment(id string, cfg ExperimentConfig) error {
 	return core.RunExperiment(id, cfg)
 }
+
+// Observability (internal/obs): a stack-wide instrumentation layer —
+// metrics, scheduler decision tracing, run manifests — with a hard
+// invariant: it never changes an output byte, and the disabled path
+// costs zero allocations. See docs/observability.md.
+
+// Tracer records per-placement scheduler decisions as JSONL or Chrome
+// trace-event JSON (openable in Perfetto as a per-processor Gantt).
+// Install with SetTracer; traced runs must be serial.
+type Tracer = obs.Tracer
+
+// TraceFormat selects the trace serialization.
+type TraceFormat = obs.TraceFormat
+
+// The trace serializations.
+const (
+	// TraceJSONL writes one JSON record per line.
+	TraceJSONL = obs.TraceJSONL
+	// TraceChrome writes Chrome trace-event JSON for Perfetto.
+	TraceChrome = obs.TraceChrome
+)
+
+// TraceCandidate is one processor considered for a traced placement.
+type TraceCandidate = obs.Candidate
+
+// NewTracer returns a tracer writing to w in the given format.
+func NewTracer(w io.Writer, format TraceFormat) *Tracer { return obs.NewTracer(w, format) }
+
+// TraceFormatForPath picks TraceJSONL for ".jsonl" paths, TraceChrome
+// otherwise.
+func TraceFormatForPath(path string) TraceFormat { return obs.TraceFormatForPath(path) }
+
+// SetTracer installs the process-wide decision tracer; nil uninstalls.
+// Scheduling runs must be serial while a tracer is installed (dagbench
+// -trace forces -workers=1).
+func SetTracer(t *Tracer) { obs.SetTracer(t) }
+
+// EnableMetrics turns the process-wide metric registry on or off.
+// Metric values never reach experiment output, so enabling them keeps
+// every table byte-identical.
+func EnableMetrics(on bool) { obs.EnableMetrics(on) }
+
+// ResetMetrics zeroes every registered metric.
+func ResetMetrics() { obs.ResetMetrics() }
+
+// MetricSample is one metric's state in a snapshot.
+type MetricSample = obs.Sample
+
+// SnapshotMetrics returns every registered metric's state, sorted by
+// name.
+func SnapshotMetrics() []MetricSample { return obs.SnapshotMetrics() }
+
+// WriteMetrics renders the metric snapshot as aligned text.
+func WriteMetrics(w io.Writer) error { return obs.WriteMetrics(w) }
+
+// RunManifest is a reproducibility receipt for one tool invocation:
+// configuration, build, input file digests, and the output hash.
+type RunManifest = obs.Manifest
+
+// NewRunManifest returns a manifest stamped with the running build.
+func NewRunManifest(tool string, command []string) *RunManifest {
+	return obs.NewManifest(tool, command)
+}
+
+// HashWriter tees writes into a SHA-256 digest, for manifest output
+// hashes.
+type HashWriter = obs.HashWriter
+
+// NewHashWriter returns a HashWriter forwarding to w.
+func NewHashWriter(w io.Writer) *HashWriter { return obs.NewHashWriter(w) }
+
+// VersionString returns the ldflags-stamped build version, augmented
+// with the VCS revision when available.
+func VersionString() string { return obs.VersionString() }
+
+// PeakRSSKB returns the process's resident-set high-water mark in
+// kilobytes (Linux VmHWM), or -1 where /proc is unavailable.
+func PeakRSSKB() int64 { return obs.PeakRSSKB() }
